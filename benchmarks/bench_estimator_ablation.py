@@ -1,0 +1,59 @@
+"""Design-choice ablation: terminal vs visit-count remedy estimator.
+
+The paper's remedy phase credits only a walk's *endpoint* (the estimator
+its Theorem 3 constants are proven for).  The library also offers a
+visit-count estimator that credits every node a walk touches -- unbiased
+for the same quantity with empirically lower variance.  This bench
+measures both at an identical (reduced) walk budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import GroundTruthCache
+from repro.core import AccuracyParams, resacc
+from repro.datasets import catalog
+from repro.metrics import mean_abs_error
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = catalog.load("pokec", scale=0.4)
+    accuracy = AccuracyParams.paper_defaults(graph.n)
+    truth = GroundTruthCache().truth(graph, 0)
+    return graph, accuracy, truth
+
+
+def _mean_error(graph, accuracy, truth, estimator):
+    errors = [
+        mean_abs_error(truth, resacc(
+            graph, 0, accuracy=accuracy, seed=seed,
+            estimator=estimator, walk_scale=0.25,
+        ).estimates)
+        for seed in range(3)
+    ]
+    return float(np.mean(errors))
+
+
+@pytest.mark.parametrize("estimator", ["terminal", "visits"])
+def bench_remedy_estimator(benchmark, setup, estimator):
+    graph, accuracy, truth = setup
+    error = benchmark.pedantic(
+        _mean_error, args=(graph, accuracy, truth, estimator),
+        rounds=1, iterations=1,
+    )
+    print(f"\n{estimator}: mean abs error {error:.3e} at 25% walk budget")
+    assert error < 1e-3
+
+
+def bench_estimator_error_gap(benchmark, setup):
+    graph, accuracy, truth = setup
+
+    def gap():
+        terminal = _mean_error(graph, accuracy, truth, "terminal")
+        visits = _mean_error(graph, accuracy, truth, "visits")
+        return terminal, visits
+    terminal, visits = benchmark.pedantic(gap, rounds=1, iterations=1)
+    print(f"\nterminal {terminal:.3e} vs visits {visits:.3e} "
+          f"({terminal / visits:.2f}x)")
+    assert visits <= terminal * 1.2  # visits should not be worse

@@ -1,0 +1,21 @@
+"""Extension experiments: alpha sensitivity and the weighted solver."""
+
+from conftest import run_and_report
+
+from repro.bench.extensions import run_ext_alpha, run_ext_weighted
+
+
+def bench_ext_alpha(benchmark, cfg):
+    [series] = run_and_report(benchmark, run_ext_alpha, cfg)
+    resacc_line = series.lines["ResAcc"]
+    # Larger alpha means shorter walks and faster absorption: the
+    # largest-alpha run must not be the slowest one.
+    assert resacc_line[-1] <= max(resacc_line)
+    assert all(t > 0 for t in resacc_line)
+
+
+def bench_ext_weighted(benchmark, cfg):
+    [table] = run_and_report(benchmark, run_ext_weighted, cfg)
+    for row in table.rows:
+        cells = dict(zip(table.headers, row))
+        assert cells["max rel error (pi > delta)"] <= 0.5  # eps contract

@@ -1,0 +1,14 @@
+"""Figure 1: residue accumulation reduces the number of push operations."""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_fig1
+
+
+def bench_fig1_residue_accumulation(benchmark, cfg):
+    [table] = run_and_report(benchmark, run_fig1, cfg)
+    pushes = table.column("push operations")
+    diffs = table.column("max reserve diff")
+    # Accumulation must save pushes while leaving the result unchanged.
+    assert pushes[1] < pushes[0]
+    assert diffs[1] < 1e-12

@@ -1,0 +1,18 @@
+"""Figure 3: the looping phenomenon at the source and its closed form."""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_fig3
+
+
+def bench_fig3_looping(benchmark, cfg):
+    series, closed_form = run_and_report(benchmark, run_fig3, cfg)
+    residues = series.lines["residue at s after round"]
+    # The paper's exact numbers on the 3-cycle example.
+    assert abs(residues[0] - 0.512) < 1e-12
+    assert abs(residues[1] - 0.262144) < 1e-12
+    # Closed form replays the same number of rounds in O(1).
+    rows = dict(zip(closed_form.column("quantity"),
+                    closed_form.column("value")))
+    assert rows["rounds T (closed form)"] == \
+        rows["explicit rounds replayed above"]

@@ -1,0 +1,20 @@
+"""Figure 4: absolute error at the k-th largest true RWR value.
+
+Paper's shape: ResAcc among the smallest errors everywhere, beating FORA
+by orders of magnitude on the large graphs; MC worst of the bounded
+methods; TPA carries a visible additive floor.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import run_fig4
+
+
+def bench_fig4_absolute_error(benchmark, cfg):
+    artifacts = run_and_report(benchmark, run_fig4, cfg)
+    for series in artifacts:
+        resacc_errors = series.lines["ResAcc"]
+        mc_errors = series.lines["MC"]
+        # ResAcc is no worse than MC at the head of the distribution.
+        assert resacc_errors[0] <= mc_errors[0] * 2 + 1e-9
+        assert all(e >= 0 for line in series.lines.values() for e in line)

@@ -1,0 +1,19 @@
+"""Figure 5: NDCG of each algorithm's induced ranking.
+
+Paper's shape: every guarantee-carrying method orders the important nodes
+correctly (NDCG ~ 1); TPA falls off on the large graphs because its tail
+is PageRank-guessed.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import run_fig5
+
+
+def bench_fig5_ndcg(benchmark, cfg):
+    artifacts = run_and_report(benchmark, run_fig5, cfg)
+    for series in artifacts:
+        for name, line in series.lines.items():
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in line), name
+        # ResAcc orders the head correctly.
+        assert series.lines["ResAcc"][0] > 0.95

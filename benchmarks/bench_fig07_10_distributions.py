@@ -1,0 +1,24 @@
+"""Figures 7-10: per-query distributions (boxplots and error bars).
+
+Paper's shape: ResAcc has the smallest maximum query time and the lowest
+variability across query nodes.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import run_fig7_10
+
+
+def bench_fig7_10_distributions(benchmark, cfg):
+    artifacts = run_and_report(benchmark, run_fig7_10, cfg)
+    boxes = artifacts[0]
+    time_rows = [dict(zip(boxes.headers, row)) for row in boxes.rows
+                 if row[1] == "query seconds"]
+    by_method = {row["method"]: row for row in time_rows}
+    # ResAcc's worst-case query beats TopPPR's worst case at any delta
+    # (at the relaxed fast delta, MC is nearly free, so the paper's
+    # ResAcc-vs-MC outlier comparison only holds at delta = 1/n --
+    # recorded by the full-fidelity run in EXPERIMENTS.md).
+    assert by_method["ResAcc"]["max"] < by_method["TopPPR"]["max"]
+    for row in time_rows:
+        assert row["min"] <= row["median"] <= row["max"]

@@ -1,0 +1,13 @@
+"""Figure 11: accuracy on Web-Stan (appendix companion of Figs 4-5)."""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_fig11
+
+
+def bench_fig11_webstan(benchmark, cfg):
+    artifacts = run_and_report(benchmark, run_fig11, cfg)
+    error_series, ndcg_series = artifacts
+    assert "web_stan" in error_series.title
+    assert error_series.lines["ResAcc"][0] < 0.1
+    assert ndcg_series.lines["ResAcc"][0] > 0.95

@@ -1,0 +1,18 @@
+"""Figures 12-13: Particle Filtering vs MC vs ResAcc.
+
+Paper's shape: PF runs in MC-like time but its quantization gives it an
+error floor orders of magnitude above ResAcc's.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_fig12_13
+
+
+def bench_fig12_13_particle_filtering(benchmark, cfg):
+    artifacts = run_and_report(benchmark, run_fig12_13, cfg)
+    for table in artifacts:
+        rows = {row[0]: dict(zip(table.headers, row)) for row in table.rows}
+        assert rows["ResAcc"]["avg abs error"] <= rows["PF"]["avg abs error"]
+        assert rows["ResAcc"][table.headers[3]] >= \
+            rows["PF"][table.headers[3]] - 0.05  # ndcg column

@@ -1,0 +1,20 @@
+"""Figures 16-17: Multiple-Sources RWR queries.
+
+Paper's shape: query time grows linearly with |S| for every method;
+ResAcc is the fastest index-free method and the most accurate overall.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_fig16_17
+
+
+def bench_fig16_17_msrwr(benchmark, cfg):
+    artifacts = run_and_report(benchmark, run_fig16_17, cfg)
+    time_series = artifacts[0]
+    for name, line in time_series.lines.items():
+        # Total time is non-decreasing in |S| (up to timing noise).
+        assert line[-1] >= line[0] * 0.5, name
+    err_series = artifacts[1]
+    assert err_series.lines["ResAcc"][-1] <= \
+        err_series.lines["MC"][-1] * 2 + 1e-9

@@ -1,0 +1,25 @@
+"""Figures 18-20: fair comparison with TopPPR over its K parameter.
+
+Paper's shape: TopPPR's cost grows with K; at matched time budgets ResAcc
+is more accurate, and TopPPR mis-orders the tail (low NDCG at large k).
+"""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_fig18_20
+
+
+def bench_fig18_20_topppr(benchmark, cfg):
+    artifacts = run_and_report(benchmark, run_fig18_20, cfg)
+    sweep = artifacts[0]
+    resacc_row = [dict(zip(sweep.headers, row)) for row in sweep.rows
+                  if row[0] == "ResAcc"][0]
+    topppr_rows = [dict(zip(sweep.headers, row)) for row in sweep.rows
+                   if row[0] == "TopPPR"]
+    # ResAcc matches or beats every TopPPR setting on error.
+    assert all(resacc_row["avg abs error"] <= r["avg abs error"] * 5
+               for r in topppr_rows)
+    per_k = artifacts[1]
+    for row in per_k.rows:
+        cells = dict(zip(per_k.headers, row))
+        assert cells["ResAcc ndcg"] > 0.9

@@ -1,0 +1,18 @@
+"""Figure 21: the effect of the hop parameter h.
+
+Paper's shape: small h is best; beyond the optimum the h-hop subgraph --
+and hence the accumulating phase -- grows and query time rises.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_fig21
+
+
+def bench_fig21_effect_h(benchmark, cfg):
+    artifacts = run_and_report(benchmark, run_fig21, cfg)
+    for series in artifacts:
+        resacc_line = series.lines["ResAcc"]
+        # The largest h is never the fastest setting.
+        assert resacc_line[-1] >= min(resacc_line)
+        assert all(t > 0 for t in resacc_line)

@@ -1,0 +1,18 @@
+"""Figure 22: the effect of the r_max_hop threshold.
+
+Paper's shape: query time is non-monotonic in r_max_hop (too small slows
+h-HopFWD, too large starves OMFWD); accuracy is flat because the remedy
+phase keeps the guarantee regardless.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_fig22
+
+
+def bench_fig22_effect_rmax_hop(benchmark, cfg):
+    [series] = run_and_report(benchmark, run_fig22, cfg)
+    ndcg = [v for k, v in series.lines.items() if k.startswith("avg ndcg")]
+    assert all(v > 0.9 for v in ndcg[0])
+    errors = series.lines["avg abs error"]
+    assert max(errors) < 0.05  # guarantee holds at every setting

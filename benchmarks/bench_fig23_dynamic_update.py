@@ -1,0 +1,20 @@
+"""Figure 23: index update cost per node deletion on dynamic graphs.
+
+Paper's shape: index-oriented methods rebuild from scratch on every
+deletion (seconds to hours); index-free ResAcc pays exactly zero.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_fig23
+from repro.bench.report import OOM
+
+
+def bench_fig23_dynamic_update(benchmark, cfg):
+    [table] = run_and_report(benchmark, run_fig23, cfg)
+    for row in table.rows:
+        cells = dict(zip(table.headers, row))
+        assert cells["ResAcc"] == 0.0
+        for label in ("TPA", "FORA+"):
+            if cells[label] != OOM:
+                assert cells[label] > 0.0

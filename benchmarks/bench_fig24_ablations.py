@@ -1,0 +1,28 @@
+"""Figure 24: each ResAcc trick removed in turn.
+
+Paper's shape: removing the accumulating loop (No-Loop), the h-hop
+subgraph (No-SG) or the OMFWD phase (No-OFD) each slows the query --
+No-OFD by up to an order of magnitude.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_fig24
+
+
+def bench_fig24_ablations(benchmark, cfg):
+    [table] = run_and_report(benchmark, run_fig24, cfg)
+    # No-SG (accumulating loop over the whole graph) loses at any delta.
+    for row in table.rows:
+        cells = dict(zip(table.headers, row))
+        assert cells["ResAcc"] < cells["No-SG"]
+    # No-Loop loses on the clear majority of datasets.
+    loop_wins = sum(
+        1 for row in table.rows
+        if dict(zip(table.headers, row))["ResAcc"]
+        <= dict(zip(table.headers, row))["No-Loop"] * 1.2
+    )
+    assert loop_wins >= (len(table.rows) + 1) // 2
+    # No-OFD's penalty is walk-budget-bound: it only shows at the paper's
+    # delta = 1/n (the fast config relaxes delta, making walks cheap); the
+    # full-fidelity ordering is recorded via `repro-bench run fig24`.

@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the shared kernels (not a paper artefact).
+
+These isolate the primitives every solver is built from, so kernel
+regressions are visible independently of the experiment suites.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AccuracyParams, resacc
+from repro.datasets import catalog
+from repro.push import forward_push_loop, init_state
+from repro.walks import walks_from_single_source
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return catalog.load("pokec", scale=0.5)
+
+
+def bench_forward_push_frontier(benchmark, graph):
+    def run():
+        reserve, residue = init_state(graph, 0)
+        forward_push_loop(graph, reserve, residue, 0.2, 1e-6,
+                          method="frontier")
+        return reserve
+    reserve = benchmark(run)
+    assert reserve.sum() > 0.5
+
+
+def bench_forward_push_queue(benchmark, graph):
+    def run():
+        reserve, residue = init_state(graph, 0)
+        forward_push_loop(graph, reserve, residue, 0.2, 1e-5,
+                          method="queue")
+        return reserve
+    reserve = benchmark(run)
+    assert reserve.sum() > 0.5
+
+
+def bench_walk_engine_10k(benchmark, graph):
+    def run():
+        return walks_from_single_source(
+            graph, 0, 10_000, 0.2, np.random.default_rng(0)
+        )
+    mass = benchmark(run)
+    assert mass.sum() == pytest.approx(10_000)
+
+
+def bench_resacc_single_query(benchmark, graph):
+    accuracy = AccuracyParams.paper_defaults(graph.n)
+    result = benchmark(lambda: resacc(graph, 0, accuracy=accuracy, seed=0))
+    assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+@pytest.fixture(scope="module")
+def weighted_graph(graph):
+    from repro.weighted import from_weighted_edges
+
+    rng = np.random.default_rng(0)
+    triples = [(u, v, float(rng.uniform(0.5, 4.0)))
+               for u, v in graph.edges()]
+    return from_weighted_edges(graph.n, triples)
+
+
+def bench_weighted_push(benchmark, weighted_graph):
+    from repro.weighted import weighted_forward_push, weighted_init_state
+
+    def run():
+        reserve, residue = weighted_init_state(weighted_graph, 0)
+        weighted_forward_push(weighted_graph, reserve, residue, 0.2, 1e-6)
+        return reserve
+    reserve = benchmark(run)
+    assert reserve.sum() > 0.5
+
+
+def bench_weighted_walks_10k(benchmark, weighted_graph):
+    from repro.weighted import weighted_walk_terminal_mass
+
+    weighted_graph.alias_tables()  # build once outside the timed region
+
+    def run():
+        starts = np.zeros(10_000, dtype=np.int64)
+        return weighted_walk_terminal_mass(
+            weighted_graph, starts, 0.2, np.random.default_rng(0)
+        )
+    mass = benchmark(run)
+    assert mass.sum() == pytest.approx(10_000)
+
+
+def bench_preference_ppr(benchmark, graph):
+    from repro.core import personalized_pagerank
+
+    accuracy = AccuracyParams.paper_defaults(graph.n)
+    result = benchmark(lambda: personalized_pagerank(
+        graph, [0, 1, 2], accuracy=accuracy, seed=0))
+    assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,16 @@
+"""Table II: dataset statistics of the scaled stand-ins."""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import run_table2
+from repro.datasets import catalog
+
+
+def bench_table2_datasets(benchmark, cfg):
+    [table] = run_and_report(benchmark, run_table2, cfg)
+    assert len(table.rows) == len(catalog.QUERY_DATASETS)
+    # Densities track the paper's m/n within a factor.
+    for row in table.rows:
+        name, measured_density, paper_density = row[0], row[3], row[7]
+        assert measured_density == __import__("pytest").approx(
+            paper_density, rel=0.5), name

@@ -1,0 +1,28 @@
+"""Table IV: index-oriented methods (BePI, TPA, FORA+) vs index-free ResAcc.
+
+Paper's shape: ResAcc has zero preprocessing time and index size; FORA+
+queries slightly faster but pays heavy preprocessing; BePI/TPA pay both
+preprocessing and (for BePI) memory that does not scale.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import run_table4
+from repro.bench.report import OOM
+
+
+def bench_table4_index_oriented(benchmark, cfg):
+    time_table, prep_table, size_table = run_and_report(
+        benchmark, run_table4, cfg
+    )
+    for row in prep_table.rows:
+        cells = dict(zip(prep_table.headers, row))
+        assert cells["ResAcc"] == 0.0               # index-free
+        for label in ("TPA", "FORA+"):
+            if cells[label] != OOM:
+                assert cells[label] > 0.0           # indexes cost time
+    for row in size_table.rows:
+        cells = dict(zip(size_table.headers, row))
+        assert cells["ResAcc"] == 0                 # no index stored
+        if cells["FORA+"] != OOM:
+            assert cells["FORA+"] > 0

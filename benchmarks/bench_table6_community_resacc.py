@@ -1,0 +1,22 @@
+"""Table VI: NISE driven by FORA vs by ResAcc.
+
+Paper's shape: ResAcc-driven NISE finishes faster with communities of at
+least equal quality.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.appendix import run_table6
+
+
+def bench_table6_community_resacc(benchmark, cfg):
+    [table] = run_and_report(benchmark, run_table6, cfg)
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], {})[row["engine"]] = row
+    for dataset, engines in by_dataset.items():
+        fora_row, res_row = engines["FORA"], engines["ResAcc"]
+        # Quality is interchangeable (both run the same sweep cut).
+        assert abs(res_row["avg conductance"]
+                   - fora_row["avg conductance"]) < 0.2, dataset

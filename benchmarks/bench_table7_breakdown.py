@@ -1,0 +1,18 @@
+"""Table VII: per-phase time breakdown of ResAcc.
+
+Paper's shape (average over datasets): h-HopFWD ~2%, OMFWD ~65%,
+remedy ~34% -- h-HopFWD is never the dominant phase.
+"""
+
+from conftest import run_and_report
+
+from repro.bench.experiments import run_table7
+
+
+def bench_table7_breakdown(benchmark, cfg):
+    [table] = run_and_report(benchmark, run_table7, cfg)
+    for row in table.rows:
+        cells = dict(zip(table.headers, row))
+        assert abs(cells["hhop %"] + cells["omfwd %"] + cells["remedy %"]
+                   - 100.0) < 1.0
+        assert cells["total"] > 0

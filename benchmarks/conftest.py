@@ -1,0 +1,36 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+The benchmarks run the experiments at the *fast* configuration (scaled
+graphs, few sources) so the whole suite finishes in minutes; the same
+experiments at full fidelity are available through the CLI::
+
+    repro-bench run table3            # full configuration
+    repro-bench run all --fast        # what these benchmarks execute
+
+Measured numbers are printed beneath each benchmark so
+``pytest benchmarks/ --benchmark-only`` output doubles as the
+reproduction record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchConfig, render_all
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    """The fast experiment configuration shared by all benchmarks."""
+    return BenchConfig.fast_defaults()
+
+
+def run_and_report(benchmark, experiment, cfg):
+    """Benchmark one experiment function and print its artefacts."""
+    artifacts = benchmark.pedantic(
+        experiment, args=(cfg,), rounds=1, iterations=1
+    )
+    print()
+    print(render_all(artifacts))
+    return artifacts

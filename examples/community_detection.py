@@ -1,0 +1,70 @@
+"""Overlapping community detection with NISE + ResAcc (Section VII-H).
+
+Plants five communities in a stochastic block model, runs NISE with
+ResAcc as its SSRWR engine, and reports the paper's quality metrics
+(average normalized cut and conductance) against both the planted truth
+and the no-SSRWR ablation.
+
+Run with::
+
+    python examples/community_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AccuracyParams, resacc
+from repro.community import nise
+from repro.graph.generators import block_membership, stochastic_block_model
+
+BLOCKS = [60, 60, 60, 60, 60]
+SEED = 3
+
+
+def purity(communities, labels, num_blocks):
+    """Mean fraction of each community owned by its majority block."""
+    scores = []
+    for community in communities:
+        counts = np.bincount(labels[community], minlength=num_blocks)
+        scores.append(counts.max() / counts.sum())
+    return float(np.mean(scores))
+
+
+def main():
+    graph = stochastic_block_model(BLOCKS, p_in=0.15, p_out=0.004,
+                                   seed=SEED)
+    labels = block_membership(BLOCKS)
+    print(f"planted-partition graph: {graph} ({len(BLOCKS)} blocks)")
+
+    accuracy = AccuracyParams.paper_defaults(graph.n)
+
+    def solver(g, s):
+        return resacc(g, s, accuracy=accuracy, seed=s)
+
+    with_ssrwr = nise(graph, len(BLOCKS), solver,
+                      max_community_size=90)
+    without = nise(graph, len(BLOCKS), use_ssrwr=False,
+                   max_community_size=90)
+
+    print("\n                     NISE (SSRWR)   NISE (BFS ordering)")
+    print(f"avg normalized cut   {with_ssrwr.average_normalized_cut:<14.4f}"
+          f" {without.average_normalized_cut:.4f}")
+    print(f"avg conductance      {with_ssrwr.average_conductance:<14.4f}"
+          f" {without.average_conductance:.4f}")
+    print(f"purity vs planted    "
+          f"{purity(with_ssrwr.communities, labels, len(BLOCKS)):<14.4f}"
+          f" {purity(without.communities, labels, len(BLOCKS)):.4f}")
+    print(f"total seconds        {with_ssrwr.total_seconds:<14.3f}"
+          f" {without.total_seconds:.3f}")
+
+    print("\ncommunities found (sizes):",
+          [len(c) for c in with_ssrwr.communities])
+    for i, community in enumerate(with_ssrwr.communities):
+        majority = int(np.bincount(labels[community]).argmax())
+        print(f"  community {i}: {len(community)} nodes, "
+              f"majority block {majority}")
+
+
+if __name__ == "__main__":
+    main()

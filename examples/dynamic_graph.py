@@ -1,0 +1,70 @@
+"""Index-free queries on a changing graph (the Fig. 23 story).
+
+Streams deletions into a Pokec-like graph and compares the total cost of
+serving one SSRWR query after each update:
+
+* **ResAcc** (index-free) -- just answers; update cost is zero.
+* **FORA+** (index-oriented) -- must rebuild its walk index from scratch
+  before it can answer.
+
+Run with::
+
+    python examples/dynamic_graph.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import AccuracyParams, datasets, resacc
+from repro.baselines import ForaPlusIndex
+from repro.graph import delete_nodes
+
+UPDATES = 4
+SEED = 5
+
+
+def main():
+    graph = datasets.load("pokec", scale=0.3)
+    accuracy = AccuracyParams.paper_defaults(graph.n)
+    rng = np.random.default_rng(SEED)
+    print(f"initial graph: {graph}\n")
+    print(f"{'update':>7}  {'ResAcc total':>13}  {'FORA+ rebuild':>14}  "
+          f"{'FORA+ query':>12}")
+
+    rebuild_total = 0.0
+    foraplus_query_total = 0.0
+    current = graph
+    for step in range(UPDATES):
+        victim = int(rng.integers(0, current.n))
+        current = delete_nodes(current, [victim])
+        source = int(np.flatnonzero(current.out_degrees > 0)[step])
+
+        tic = time.perf_counter()
+        resacc(current, source, accuracy=accuracy, seed=step)
+        resacc_seconds = time.perf_counter() - tic
+
+        index = ForaPlusIndex(current, accuracy=accuracy, seed=step)
+        tic = time.perf_counter()
+        index.query(source)
+        foraplus_query = time.perf_counter() - tic
+        rebuild_total += index.preprocess_seconds
+        foraplus_query_total += foraplus_query
+
+        print(f"{step:>7}  {resacc_seconds:>12.3f}s  "
+              f"{index.preprocess_seconds:>13.3f}s  "
+              f"{foraplus_query:>11.3f}s")
+
+    overhead = rebuild_total / foraplus_query_total
+    print(f"\nFORA+ spent {rebuild_total:.3f}s rebuilding vs "
+          f"{foraplus_query_total:.3f}s answering -- {overhead:.0f}x its "
+          "own query work went to index maintenance.")
+    print("ResAcc's maintenance cost is exactly zero: it reads the "
+          "updated adjacency directly.  At the paper's scale the same "
+          "ratio is hours of rebuild (Twitter: ~1.5h) per deletion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Recreate the paper's worked examples (Figures 1 and 3) step by step.
+
+Useful for understanding the mechanics before reading the code: prints
+the push-by-push tables of Figure 1 (residue accumulation) and the
+round-by-round looping table of Figure 3, matching the paper's numbers.
+
+Run with::
+
+    python examples/paper_figures.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hhop import h_hop_forward
+from repro.graph.generators import paper_figure1_graph, paper_figure3_graph
+from repro.push import forward_push_loop, init_state, single_push
+
+ALPHA = 0.2
+
+
+def figure1():
+    print("=== Figure 1: residue accumulation on the 4-node example ===")
+    graph = paper_figure1_graph()
+    names = ["v1", "v2", "v3", "v4"]
+    print("edges:", [(names[u], names[v]) for u, v in graph.edges()])
+
+    def run(schedule_name, frozen=None):
+        reserve, residue = init_state(graph, 0)
+        pushes = 0
+        print(f"\n{schedule_name}:")
+        while True:
+            eligible = [
+                v for v in range(graph.n)
+                if residue[v] >= 1e-3 * max(graph.out_degree(v), 1)
+                and (frozen is None or v not in frozen
+                     or not any(
+                         residue[u] >= 1e-3 * max(graph.out_degree(u), 1)
+                         for u in range(graph.n) if u != v
+                         and (frozen is None or u not in frozen)))
+            ]
+            if not eligible:
+                break
+            node = eligible[0]
+            single_push(graph, node, reserve, residue, ALPHA)
+            pushes += 1
+            row = "  ".join(f"{names[v]}={residue[v]:.3f}"
+                            for v in range(graph.n))
+            print(f"  push #{pushes} at {names[node]}:  {row}")
+        print(f"  total pushes: {pushes}")
+        return reserve
+
+    plain = run("without accumulation")
+    accumulated = run("accumulate at v2 (push it last)", frozen={1})
+    print(f"\nmax reserve difference: "
+          f"{np.abs(plain - accumulated).max():.2e} "
+          "(identical results, fewer pushes)\n")
+
+
+def figure3():
+    print("=== Figure 3: the looping phenomenon on the 3-cycle ===")
+    graph = paper_figure3_graph()
+    r_max = 0.1
+    reserve, residue = init_state(graph, 0)
+    print("round-by-round residue at s (paper: 1 -> 0.512 -> 0.262144):")
+    rounds = 0
+    while residue[0] >= r_max * graph.out_degree(0) and rounds < 10:
+        rho = float(residue[0])
+        single_push(graph, 0, reserve, residue, ALPHA)
+        can_push = np.ones(graph.n, dtype=bool)
+        can_push[0] = False
+        forward_push_loop(graph, reserve, residue, ALPHA, r_max * rho,
+                          can_push=can_push, method="queue")
+        rounds += 1
+        print(f"  after round {rounds}: r(s) = {residue[0]:.6f}")
+
+    closed_reserve, closed_residue = init_state(graph, 0)
+    outcome = h_hop_forward(graph, 0, ALPHA, r_max, 2,
+                            closed_reserve, closed_residue)
+    print(f"\nclosed form: r1 = {outcome.r1_source}, "
+          f"T = {outcome.num_rounds}, S = {outcome.scaler:.6f}")
+    print(f"explicit rounds replayed: {rounds}")
+    gap = np.abs(closed_reserve - reserve).max()
+    print(f"reserve difference closed-form vs replay: {gap:.2e}")
+
+
+def main():
+    figure1()
+    figure3()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""A caching SSRWR query service over a live graph.
+
+Simulates a small friend-suggestion service: a stream of interleaved
+queries (Zipf-hot sources) and graph mutations hits a
+:class:`repro.QueryEngine`, which caches per-source answers and
+invalidates them on every write -- the index-free property is what makes
+the invalidation *complete and free*.
+
+Run with::
+
+    python examples/query_service.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import AccuracyParams, QueryEngine, datasets
+
+QUERIES = 300
+WRITE_EVERY = 60      # one mutation per this many queries
+HOT_SOURCES = 12
+SEED = 11
+
+
+def main():
+    graph = datasets.load("lj", scale=0.25)
+    accuracy = AccuracyParams.paper_defaults(graph.n)
+    engine = QueryEngine(graph, accuracy=accuracy, cache_size=64,
+                         seed=SEED)
+    rng = np.random.default_rng(SEED)
+    hot = rng.choice(graph.n, size=HOT_SOURCES, replace=False)
+
+    print(f"graph: {engine.graph}")
+    print(f"serving {QUERIES} queries over {HOT_SOURCES} hot sources, "
+          f"one graph write every {WRITE_EVERY} queries\n")
+
+    tic = time.perf_counter()
+    for step in range(QUERIES):
+        if step and step % WRITE_EVERY == 0:
+            u = int(rng.integers(0, engine.graph.n))
+            v = int(rng.integers(0, engine.graph.n))
+            if u != v:
+                engine.add_edge(u, v, undirected=True)
+        source = int(hot[rng.integers(0, HOT_SOURCES)])
+        engine.recommend(source, 5)
+    elapsed = time.perf_counter() - tic
+
+    stats = engine.stats
+    print(f"served {stats.queries} queries in {elapsed:.2f}s "
+          f"({stats.queries / elapsed:.0f} q/s)")
+    print(f"cache hit rate: {stats.hit_rate:.1%} "
+          f"({stats.cache_hits} hits / {stats.cache_misses} misses)")
+    print(f"writes: {stats.updates}, cache invalidations: "
+          f"{stats.invalidations}")
+    print(f"solver time: {stats.solver_seconds:.2f}s "
+          f"({stats.solver_seconds / elapsed:.0%} of wall clock)")
+    print("\nevery write invalidated the cache completely -- and that "
+          "was the *entire* maintenance cost.\nan index-oriented engine "
+          "would have rebuilt its index on each of the "
+          f"{stats.updates} writes.")
+
+
+if __name__ == "__main__":
+    main()

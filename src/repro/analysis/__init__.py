@@ -1,0 +1,41 @@
+"""Analytic cost models and concentration-bound evaluation."""
+
+from repro.analysis.confidence import (
+    achievable_eps,
+    achievable_p_f,
+    failure_probability,
+    required_walks,
+    walk_savings_factor,
+)
+from repro.analysis.degrees import (
+    degree_histogram,
+    hill_tail_index,
+    render_degree_histogram,
+)
+from repro.analysis.cost import (
+    fora_cost,
+    fora_optimal_cost,
+    forward_search_cost,
+    hhop_residue_bound,
+    mc_cost,
+    power_iteration_cost,
+    resacc_remedy_cost,
+)
+
+__all__ = [
+    "achievable_eps",
+    "achievable_p_f",
+    "degree_histogram",
+    "failure_probability",
+    "fora_cost",
+    "fora_optimal_cost",
+    "forward_search_cost",
+    "hhop_residue_bound",
+    "hill_tail_index",
+    "mc_cost",
+    "power_iteration_cost",
+    "render_degree_histogram",
+    "required_walks",
+    "resacc_remedy_cost",
+    "walk_savings_factor",
+]

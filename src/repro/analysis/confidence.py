@@ -1,0 +1,86 @@
+"""Evaluating the paper's concentration bound (Lemma 1 / Theorem 3).
+
+Lemma 1 bounds the per-node failure probability of the remedy estimator:
+
+    Pr[|pi_hat - pi| >= eps pi]
+        <= 2 exp(- eps^2 n_r pi / (r_sum (2 + 2 eps / 3))).
+
+These helpers evaluate the bound and its inversions, which turns the
+theory into actionable planning: how many walks to buy for a target
+contract, or which contract a given walk budget can honour.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+
+def failure_probability(pi, eps, n_r, r_sum):
+    """Lemma 1's bound on ``Pr[relative error >= eps]`` for one node."""
+    _check_positive(eps=eps, pi=pi)
+    if n_r < 0 or r_sum < 0:
+        raise ParameterError("n_r and r_sum must be >= 0")
+    if r_sum == 0:
+        return 0.0  # no sampling happened: the push answer is exact
+    exponent = eps ** 2 * n_r * pi / (r_sum * (2.0 + 2.0 * eps / 3.0))
+    return min(1.0, 2.0 * math.exp(-exponent))
+
+
+def required_walks(eps, delta, p_f, r_sum):
+    """Theorem 3's ``n_r``: the walk budget honouring the contract."""
+    _check_positive(eps=eps, delta=delta, p_f=p_f)
+    if r_sum < 0:
+        raise ParameterError(f"r_sum must be >= 0, got {r_sum}")
+    constant = (2.0 * eps / 3.0 + 2.0) * math.log(2.0 / p_f) \
+        / (eps ** 2 * delta)
+    return int(math.ceil(r_sum * constant))
+
+
+def achievable_p_f(eps, delta, n_r, r_sum):
+    """The failure probability a given walk budget guarantees at
+    ``pi = delta`` (the contract's worst covered node)."""
+    return failure_probability(delta, eps, n_r, r_sum)
+
+
+def achievable_eps(delta, p_f, n_r, r_sum, *, tol=1e-9):
+    """The smallest relative error a walk budget can honour.
+
+    Solves ``failure_probability(delta, eps, n_r, r_sum) == p_f`` for
+    ``eps`` by bisection (the bound is monotone decreasing in ``eps``).
+    Returns ``inf`` when even ``eps = 1e6`` cannot reach ``p_f``.
+    """
+    _check_positive(delta=delta, p_f=p_f)
+    if r_sum == 0:
+        return 0.0
+    low, high = 1e-9, 1e6
+    if failure_probability(delta, high, n_r, r_sum) > p_f:
+        return float("inf")
+    while high - low > tol * max(1.0, low):
+        mid = 0.5 * (low + high)
+        if failure_probability(delta, mid, n_r, r_sum) <= p_f:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def walk_savings_factor(r_sum_a, r_sum_b):
+    """How many fewer walks method A needs than method B.
+
+    The remedy budget is linear in ``r_sum`` (Theorem 3), so the ratio of
+    the two methods' post-push residue sums *is* their walk-budget ratio
+    -- the quantity behind the paper's Fig. 6 speedups.
+    """
+    if r_sum_a < 0 or r_sum_b < 0:
+        raise ParameterError("residue sums must be >= 0")
+    if r_sum_a == 0:
+        return float("inf")
+    return r_sum_b / r_sum_a
+
+
+def _check_positive(**values):
+    for name, value in values.items():
+        if value <= 0:
+            raise ParameterError(f"{name} must be positive, got {value}")

@@ -1,0 +1,86 @@
+"""Analytic cost models from the paper's complexity discussion.
+
+These formulas let callers reason about an algorithm's expected work
+*before* running it -- the bench harness uses them to sanity-check
+measured scaling, and the tests verify the models' monotonicity
+properties (e.g. FORA's balanced threshold really minimizes its model).
+
+All counts are in abstract "operations": one pushed edge or one walk
+step.  They are not wall-clock predictions, but their *ratios* across
+algorithms and parameter settings track the measured ratios.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+
+def mc_cost(accuracy, alpha=0.2):
+    """Monte Carlo: ``c`` walks of expected length ``1 / alpha`` [9]."""
+    _check_alpha(alpha)
+    return accuracy.walk_constant / alpha
+
+
+def forward_search_cost(alpha, r_max):
+    """Forward Search push bound ``O(1 / (alpha r_max))`` [2]."""
+    _check_alpha(alpha)
+    if r_max <= 0:
+        raise ParameterError(f"r_max must be positive, got {r_max}")
+    return 1.0 / (alpha * r_max)
+
+
+def fora_cost(graph, accuracy, r_max, alpha=0.2):
+    """FORA: push cost plus walk cost at threshold ``r_max`` [28].
+
+    ``O(1/(alpha r_max) + m r_max c / alpha)`` -- the two terms cross at
+    ``r_max = 1 / sqrt(m c)`` (:func:`repro.core.params.fora_r_max`).
+    """
+    _check_alpha(alpha)
+    if r_max <= 0:
+        raise ParameterError(f"r_max must be positive, got {r_max}")
+    push = 1.0 / (alpha * r_max)
+    walks = graph.m * r_max * accuracy.walk_constant / alpha
+    return push + walks
+
+
+def fora_optimal_cost(graph, accuracy, alpha=0.2):
+    """FORA's model cost at its balanced threshold: ``2 sqrt(m c)/alpha``."""
+    _check_alpha(alpha)
+    return 2.0 * math.sqrt(graph.m * accuracy.walk_constant) / alpha
+
+
+def power_iteration_cost(graph, tol, alpha=0.2):
+    """Power iteration: ``O(m log(1/tol) / log(1/(1-alpha)))`` [20]."""
+    _check_alpha(alpha)
+    if not 0 < tol < 1:
+        raise ParameterError(f"tol must be in (0, 1), got {tol}")
+    rounds = math.log(tol) / math.log(1.0 - alpha)
+    return graph.m * rounds
+
+
+def resacc_remedy_cost(r_sum, accuracy, alpha=0.2):
+    """ResAcc's remedy phase: ``r_sum * c`` walks of length ``1/alpha``.
+
+    The whole point of h-HopFWD + OMFWD is driving ``r_sum`` below what
+    FORA's single push pass achieves -- plug both measured ``r_sum``
+    values in to see the walk-budget gap the paper's Fig. 6 exploits.
+    """
+    _check_alpha(alpha)
+    if r_sum < 0:
+        raise ParameterError(f"r_sum must be >= 0, got {r_sum}")
+    return r_sum * accuracy.walk_constant / alpha
+
+
+def hhop_residue_bound(alpha, h):
+    """Lemma 4: ``r_sum_hop <= (1 - alpha)^h`` after h-HopFWD."""
+    _check_alpha(alpha)
+    if h < 0:
+        raise ParameterError(f"h must be >= 0, got {h}")
+    return (1.0 - alpha) ** h
+
+
+def _check_alpha(alpha):
+    if not 0.0 < alpha < 1.0:
+        raise ParameterError(f"alpha must be in (0, 1), got {alpha}")

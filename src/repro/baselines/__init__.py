@@ -1,0 +1,43 @@
+"""Every comparison algorithm from the paper's Table I."""
+
+from repro.baselines.backward_search import (
+    backward_contributions,
+    ssrwr_via_backward,
+)
+from repro.baselines.bepi import BePIIndex
+from repro.baselines.bippr import bippr_pair, bippr_ssrwr
+from repro.baselines.blin import BLinIndex
+from repro.baselines.fora import fora
+from repro.baselines.foraplus import ForaPlusIndex, expected_index_walks
+from repro.baselines.forward_search import forward_search
+from repro.baselines.hubppr import HubPPRIndex
+from repro.baselines.inverse import ExactSolver, exact_rwr, transition_matrix
+from repro.baselines.montecarlo import monte_carlo
+from repro.baselines.particle_filtering import particle_filtering
+from repro.baselines.power import power_iteration
+from repro.baselines.qr import QRIndex
+from repro.baselines.topppr import topppr
+from repro.baselines.tpa import TPAIndex
+
+__all__ = [
+    "BLinIndex",
+    "BePIIndex",
+    "ExactSolver",
+    "ForaPlusIndex",
+    "HubPPRIndex",
+    "QRIndex",
+    "TPAIndex",
+    "backward_contributions",
+    "bippr_pair",
+    "bippr_ssrwr",
+    "exact_rwr",
+    "expected_index_walks",
+    "fora",
+    "forward_search",
+    "monte_carlo",
+    "particle_filtering",
+    "power_iteration",
+    "ssrwr_via_backward",
+    "topppr",
+    "transition_matrix",
+]

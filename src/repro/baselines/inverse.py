@@ -1,0 +1,74 @@
+"""Exact RWR by sparse linear solve (*Inverse*, Tong et al. [23]).
+
+The RWR vector solves ``pi = D_abs (I - (1 - alpha) P^T)^{-1} e_s`` where
+``P`` is the out-transition matrix with zero rows at dangling nodes and
+``D_abs`` is diagonal with ``alpha`` at non-dangling nodes and ``1`` at
+dangling ones (a walk reaching a dangling node terminates there with
+probability 1 under the ``"absorb"`` policy).
+
+The paper classifies *Inverse* as exact but slow -- ``O(n^2.373)`` for a
+dense inversion.  We instead factorize the sparse system once
+(:class:`ExactSolver`), which makes repeated sources cheap and provides
+the reference values for the accuracy experiments on mid-sized graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.core.result import SSRWRResult
+from repro.errors import ParameterError
+
+
+def transition_matrix(graph):
+    """The out-transition matrix ``P`` (CSR), zero rows at dangling nodes."""
+    degrees = graph.out_degrees
+    sources = np.repeat(np.arange(graph.n, dtype=np.int64), degrees)
+    data = 1.0 / degrees[sources]
+    return sp.csr_matrix(
+        (data, (sources, graph.indices)), shape=(graph.n, graph.n)
+    )
+
+
+class ExactSolver:
+    """Factorized exact SSRWR solver for repeated sources."""
+
+    def __init__(self, graph, alpha=0.2):
+        if not 0.0 < alpha < 1.0:
+            raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+        if graph.dangling != "absorb":
+            raise ParameterError(
+                "ExactSolver supports the 'absorb' dangling policy only; "
+                "under 'restart' the system matrix depends on the source"
+            )
+        self.graph = graph
+        self.alpha = alpha
+        p_t = transition_matrix(graph).T.tocsc()
+        system = (sp.identity(graph.n, format="csc") - (1.0 - alpha) * p_t)
+        self._solve = spla.factorized(system)
+        absorb = np.full(graph.n, alpha, dtype=np.float64)
+        absorb[graph.out_degrees == 0] = 1.0
+        self._absorb = absorb
+
+    def query(self, source):
+        """Exact SSRWR vector of ``source`` as an :class:`SSRWRResult`."""
+        if not 0 <= source < self.graph.n:
+            raise ParameterError(
+                f"source {source} out of range for n={self.graph.n}"
+            )
+        unit = np.zeros(self.graph.n, dtype=np.float64)
+        unit[source] = 1.0
+        visits = self._solve(unit)
+        return SSRWRResult(
+            source=int(source),
+            estimates=self._absorb * visits,
+            alpha=self.alpha,
+            algorithm="inverse",
+        )
+
+
+def exact_rwr(graph, source, alpha=0.2):
+    """One-shot exact query (builds and discards the factorization)."""
+    return ExactSolver(graph, alpha).query(source)

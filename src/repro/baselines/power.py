@@ -1,0 +1,82 @@
+"""Power iteration (Pan et al. [20]) -- the paper's ground-truth generator.
+
+The iteration maintains a *walking-mass* vector ``r`` (probability that a
+walk is still alive and currently at each node) and an *absorbed* vector
+``pi``.  Every round absorbs ``alpha`` of the live mass (all of it at
+dangling nodes under the ``"absorb"`` policy) and advances the rest one
+step.  This is exactly a Jacobi sweep of forward push with threshold 0, so
+its fixpoint agrees bit-for-bit in semantics with every other solver in
+the library.
+
+Live mass decays at least geometrically (factor ``1 - alpha``), so reaching
+tolerance ``tol`` takes about ``log(tol) / log(1 - alpha)`` rounds of O(m)
+work each -- the O(mT) cost the paper cites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import SSRWRResult
+from repro.errors import ConvergenceError, ParameterError
+from repro.graph.hop import expand_ranges
+
+
+def power_iteration(graph, source, *, alpha=0.2, tol=1e-12, max_iters=4000):
+    """Compute the SSRWR vector to additive accuracy ``tol``.
+
+    Returns an :class:`SSRWRResult` whose ``extras["iterations"]`` records
+    the number of rounds.
+    """
+    if not 0 <= source < graph.n:
+        raise ParameterError(f"source {source} out of range for n={graph.n}")
+    if not 0.0 < alpha < 1.0:
+        raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+    if tol <= 0.0:
+        raise ParameterError(f"tol must be positive, got {tol}")
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.out_degrees
+    restart = graph.dangling == "restart"
+    pi = np.zeros(graph.n, dtype=np.float64)
+    live = np.zeros(graph.n, dtype=np.float64)
+    live[source] = 1.0
+    iterations = 0
+    while True:
+        remaining = float(live.sum())
+        if remaining <= tol:
+            break
+        if iterations >= max_iters:
+            raise ConvergenceError(
+                f"power iteration did not reach tol={tol} in "
+                f"{max_iters} rounds (residual {remaining:.3e})"
+            )
+        iterations += 1
+        active = np.flatnonzero(live > 0.0)
+        mass = live[active]
+        deg = degrees[active]
+        dangling = deg == 0
+        moving_nodes = active[~dangling]
+        moving_mass = mass[~dangling]
+        pi[moving_nodes] += alpha * moving_mass
+        dangling_total = 0.0
+        if dangling.any():
+            d_nodes = active[dangling]
+            d_mass = mass[dangling]
+            if restart:
+                pi[d_nodes] += alpha * d_mass
+                dangling_total = float(d_mass.sum()) * (1.0 - alpha)
+            else:
+                pi[d_nodes] += d_mass
+        live = np.zeros(graph.n, dtype=np.float64)
+        if moving_nodes.size:
+            counts = degrees[moving_nodes]
+            positions = expand_ranges(indptr[moving_nodes], counts)
+            targets = indices[positions]
+            weights = np.repeat((1.0 - alpha) * moving_mass / counts, counts)
+            live += np.bincount(targets, weights=weights, minlength=graph.n)
+        if dangling_total:
+            live[source] += dangling_total
+    return SSRWRResult(
+        source=int(source), estimates=pi, alpha=alpha, algorithm="power",
+        extras={"iterations": iterations, "tol": tol},
+    )

@@ -1,0 +1,79 @@
+"""QR-decomposition RWR (Fujiwara et al. [11]).
+
+K-dash/QR-style methods precompute a QR factorization of the system
+matrix ``H = I - (1 - alpha) P^T`` with a fill-reducing ordering, then
+answer each query with two triangular solves.  The answer is exact up to
+floating point, but the factorization cost and fill make the approach
+"Slow" with no error bound reported (Table I) -- and the paper's
+experiments exclude it as dominated.
+
+scipy has no sparse QR, so the factorization is dense: the index is
+O(n^2) memory by construction, which *is* the method's documented
+scalability wall.  ``max_nodes`` guards against accidentally
+factorizing a large graph.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.baselines.inverse import transition_matrix
+from repro.core.result import SSRWRResult
+from repro.errors import ParameterError
+
+#: Dense QR on more nodes than this is almost certainly a mistake.
+DEFAULT_MAX_NODES = 4_000
+
+
+class QRIndex:
+    """Dense QR factorization index for one (small) graph."""
+
+    def __init__(self, graph, *, alpha=0.2, max_nodes=DEFAULT_MAX_NODES):
+        if not 0.0 < alpha < 1.0:
+            raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+        if graph.dangling != "absorb":
+            raise ParameterError(
+                "QRIndex supports the 'absorb' dangling policy only"
+            )
+        if graph.n > max_nodes:
+            raise ParameterError(
+                f"dense QR on n={graph.n} exceeds max_nodes={max_nodes}; "
+                "this O(n^2)-memory method does not scale (the reason the "
+                "paper rates it Slow)"
+            )
+        self.graph = graph
+        self.alpha = alpha
+        tic = time.perf_counter()
+        system = (np.eye(graph.n)
+                  - (1.0 - alpha) * transition_matrix(graph).T.toarray())
+        self._q, self._r = sla.qr(system)
+        absorb = np.full(graph.n, alpha, dtype=np.float64)
+        absorb[graph.out_degrees == 0] = 1.0
+        self._absorb = absorb
+        self.preprocess_seconds = time.perf_counter() - tic
+
+    @property
+    def index_bytes(self):
+        """Footprint of the stored Q and R factors."""
+        return int(self._q.nbytes + self._r.nbytes)
+
+    def query(self, source):
+        """Exact (to floating point) SSRWR vector of ``source``."""
+        graph = self.graph
+        if not 0 <= source < graph.n:
+            raise ParameterError(
+                f"source {source} out of range for n={graph.n}"
+            )
+        tic = time.perf_counter()
+        unit = np.zeros(graph.n, dtype=np.float64)
+        unit[source] = 1.0
+        visits = sla.solve_triangular(self._r, self._q.T @ unit)
+        estimates = self._absorb * visits
+        elapsed = time.perf_counter() - tic
+        return SSRWRResult(
+            source=int(source), estimates=estimates, alpha=self.alpha,
+            algorithm="qr", phase_seconds={"solve": elapsed},
+        )

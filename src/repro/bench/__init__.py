@@ -1,0 +1,34 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.bench.appendix import APPENDIX_EXPERIMENTS
+from repro.bench.experiments import MAIN_EXPERIMENTS
+from repro.bench.extensions import EXTENSION_EXPERIMENTS
+from repro.bench.harness import (
+    BenchConfig,
+    GroundTruthCache,
+    SolverRun,
+    run_suite,
+    timed,
+    truths_for,
+)
+from repro.bench.report import Series, Table, render_all
+
+#: Every reproducible artefact, keyed by experiment id.
+ALL_EXPERIMENTS = {**MAIN_EXPERIMENTS, **APPENDIX_EXPERIMENTS,
+                   **EXTENSION_EXPERIMENTS}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "APPENDIX_EXPERIMENTS",
+    "BenchConfig",
+    "EXTENSION_EXPERIMENTS",
+    "GroundTruthCache",
+    "MAIN_EXPERIMENTS",
+    "Series",
+    "SolverRun",
+    "Table",
+    "render_all",
+    "run_suite",
+    "timed",
+    "truths_for",
+]

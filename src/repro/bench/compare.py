@@ -1,0 +1,75 @@
+"""Compare two exported experiment runs.
+
+``repro-bench run table3 --json a.json`` on two commits (or two
+machines) produces two documents; :func:`compare_documents` lines their
+tables up cell-by-cell and reports ratios, so performance regressions
+show up as numbers instead of eyeballing.
+"""
+
+from __future__ import annotations
+
+from repro.bench.export import load_json
+from repro.bench.report import Table
+from repro.errors import ParameterError
+
+
+def compare_documents(baseline_doc, candidate_doc, *,
+                      min_ratio_of_interest=1.25):
+    """Diff two exported documents; returns a list of comparison Tables.
+
+    Only numeric cells are compared; a ``ratio`` column reports
+    candidate / baseline (``> 1`` means the candidate is larger --
+    usually slower).  Rows whose largest ratio change is below
+    ``min_ratio_of_interest`` are marked quiet but still listed.
+    """
+    base_artifacts = {a["title"]: a for a in baseline_doc["artifacts"]}
+    cand_artifacts = {a["title"]: a for a in candidate_doc["artifacts"]}
+    shared = [t for t in base_artifacts if t in cand_artifacts]
+    if not shared:
+        raise ParameterError("the two documents share no artefact titles")
+    comparisons = []
+    for title in shared:
+        base = base_artifacts[title]
+        cand = cand_artifacts[title]
+        if base["kind"] != "table" or cand["kind"] != "table":
+            continue
+        if base["headers"] != cand["headers"]:
+            continue
+        headers = base["headers"]
+        out = Table(
+            title=f"compare: {title}",
+            headers=[headers[0], "column", "baseline", "candidate",
+                     "ratio", "flag"],
+        )
+        base_rows = {str(r[0]): r for r in base["rows"]}
+        cand_rows = {str(r[0]): r for r in cand["rows"]}
+        for key in base_rows:
+            if key not in cand_rows:
+                continue
+            for idx, column in enumerate(headers[1:], start=1):
+                b = base_rows[key][idx]
+                c = cand_rows[key][idx]
+                if not _both_numeric(b, c):
+                    continue
+                ratio = c / b if b else float("inf")
+                flag = ""
+                if ratio >= min_ratio_of_interest:
+                    flag = "slower" if "time" in title.lower() or \
+                        "seconds" in column.lower() else "larger"
+                elif ratio <= 1.0 / min_ratio_of_interest:
+                    flag = "faster" if "time" in title.lower() or \
+                        "seconds" in column.lower() else "smaller"
+                out.add_row(key, column, b, c, ratio, flag)
+        comparisons.append(out)
+    return comparisons
+
+
+def compare_files(baseline_path, candidate_path, **kwargs):
+    """File-based wrapper around :func:`compare_documents`."""
+    return compare_documents(load_json(baseline_path),
+                             load_json(candidate_path), **kwargs)
+
+
+def _both_numeric(a, b):
+    return (isinstance(a, (int, float)) and not isinstance(a, bool)
+            and isinstance(b, (int, float)) and not isinstance(b, bool))

@@ -1,0 +1,520 @@
+"""Main-body experiments: Tables II-IV, VII and Figures 4-10.
+
+Every function regenerates one paper artefact as a :class:`Table` or
+:class:`Series` and is callable from the CLI (``repro-bench run <id>``)
+and from the pytest benchmarks.  Appendix experiments live in
+:mod:`repro.bench.appendix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bepi import BePIIndex
+from repro.baselines.fora import fora
+from repro.baselines.foraplus import ForaPlusIndex
+from repro.baselines.tpa import TPAIndex
+from repro.bench.harness import (
+    BenchConfig,
+    GroundTruthCache,
+    run_suite,
+    timed,
+    truths_for,
+)
+from repro.bench.report import OOM, Series, Table
+from repro.bench.solvers import (
+    ALPHA,
+    make_fora,
+    make_fwd,
+    make_index_solver,
+    make_mc,
+    make_power,
+    make_resacc,
+    make_topppr,
+    rng_for,
+)
+from repro.core.resacc import resacc
+from repro.core.params import ResAccParams
+from repro.datasets import catalog
+from repro.graph.validation import graph_stats
+from repro.metrics.distributions import boxplot_summary, error_bar_summary
+from repro.metrics.errors import mean_abs_error
+
+#: The benchmark machine of Section VII-A had 64 GB of RAM; index builds
+#: whose projected paper-scale footprint exceeds it report "o.o.m".
+PAPER_MEMORY_BYTES = 64 * 1024 ** 3
+#: Build-time working-set multipliers over the probed index size, per
+#: method.  Sparse factorization (BePI) fills aggressively; TPA's
+#: iterative preprocessing holds several edge-indexed work arrays; the
+#: FORA+ walk index streams and needs little beyond its output.
+WORKING_SET_FACTORS = {"BePI": 6.0, "TPA": 8.0, "FORA+": 2.5}
+
+K_GRID = (1, 10, 100, 1_000, 10_000, 100_000)
+
+
+def _datasets(cfg, *, limit=None):
+    names = catalog.FAST_DATASETS if cfg.fast else catalog.QUERY_DATASETS
+    names = names[:limit] if limit else names
+    return list(names)
+
+
+def _load(cfg, name):
+    return catalog.load(name, scale=cfg.scale, seed=cfg.seed)
+
+
+def _index_free_solvers(graph, accuracy, h, cfg, *, include_power=True):
+    solvers = {}
+    if include_power:
+        solvers["Power"] = make_power(tol=1e-9)
+    solvers["FWD"] = make_fwd()
+    solvers["MC"] = make_mc(accuracy, seed=cfg.seed)
+    solvers["FORA"] = make_fora(accuracy, seed=cfg.seed)
+    solvers["TopPPR"] = make_topppr(
+        accuracy, k=min(100_000, graph.n), seed=cfg.seed,
+        max_candidates=32 if cfg.fast else 96, r_max_b=5e-3,
+    )
+    solvers["ResAcc"] = make_resacc(accuracy, h, seed=cfg.seed)
+    return solvers
+
+
+def _delta_note(cfg):
+    if cfg.delta_scale == 1.0:
+        return f"accuracy: eps={cfg.eps}, delta=1/n, p_f=1/n (paper setting)"
+    return (
+        f"accuracy: eps={cfg.eps}, delta={cfg.delta_scale:g}/n, p_f=1/n "
+        f"(paper: delta=1/n; relaxed by {cfg.delta_scale:g}x for "
+        "pure-Python runtimes, identically for every algorithm)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II -- dataset statistics
+# ----------------------------------------------------------------------
+def run_table2(cfg=None):
+    """Dataset statistics of the scaled stand-ins vs the paper's graphs."""
+    cfg = cfg or BenchConfig()
+    table = Table(
+        title="Table II -- datasets (scaled synthetic stand-ins)",
+        headers=["dataset", "n", "m", "m/n", "h",
+                 "paper n", "paper m", "paper m/n"],
+    )
+    for name in catalog.QUERY_DATASETS:
+        entry = catalog.spec(name)
+        stats = graph_stats(_load(cfg, name))
+        table.add_row(
+            name, stats.n, stats.m, round(stats.density, 1), entry.h,
+            entry.paper_nodes, entry.paper_edges,
+            round(entry.paper_m / entry.paper_n, 1),
+        )
+    table.add_note("stand-ins match the paper's m/n density at ~1/1000 scale")
+    return [table]
+
+
+# ----------------------------------------------------------------------
+# Table III -- query time of index-free algorithms
+# ----------------------------------------------------------------------
+def run_table3(cfg=None):
+    """Average SSRWR query time of every index-free algorithm."""
+    cfg = cfg or BenchConfig()
+    table = Table(
+        title="Table III -- avg query time (seconds), index-free algorithms",
+        headers=["dataset", "Power", "FWD", "MC", "FORA", "TopPPR",
+                 "ResAcc"],
+    )
+    table.add_note(_delta_note(cfg))
+    for name in _datasets(cfg):
+        graph = _load(cfg, name)
+        accuracy = cfg.accuracy_for(graph)
+        sources = cfg.sources_for(graph)
+        solvers = _index_free_solvers(graph, accuracy, catalog.bench_h(name),
+                                      cfg)
+        runs = run_suite(graph, sources, solvers, keep_estimates=False)
+        table.add_row(name, *(runs[col].mean_seconds
+                              for col in table.headers[1:]))
+    return [table]
+
+
+# ----------------------------------------------------------------------
+# Table IV -- index-oriented algorithms vs ResAcc
+# ----------------------------------------------------------------------
+def _projected_paper_bytes(index_bytes, graph, name, method):
+    entry = catalog.spec(name)
+    scale_up = entry.paper_m / max(graph.m, 1)
+    return index_bytes * scale_up * WORKING_SET_FACTORS.get(method, 1.0)
+
+
+def _try_build(build, graph, name, *, probe_bytes, method=None):
+    """Build an index unless its projected paper-scale build would OOM.
+
+    ``probe_bytes(graph)`` cheaply estimates the final index size before
+    any expensive work.  The estimate is scaled to the paper's graph
+    (``paper_m / m``) and by the method's build-time working-set factor;
+    exceeding the 64 GB benchmark machine reports "o.o.m", mirroring how
+    the paper's runs failed on the larger graphs.
+    """
+    if method is None:
+        method = getattr(probe_bytes, "method", "")
+    estimate = probe_bytes(graph)
+    projected = _projected_paper_bytes(estimate, graph, name, method)
+    if projected > PAPER_MEMORY_BYTES:
+        return None
+    return build()
+
+
+def _bepi_probe(graph):
+    # ILU fill estimate: fill_factor * nnz(H) * 12 bytes per stored entry.
+    return 10.0 * (graph.m + graph.n) * 12.0
+
+
+_bepi_probe.method = "BePI"
+
+
+def _tpa_probe(graph):
+    # PageRank vector plus edge-indexed iteration buffers.
+    return graph.n * 8.0 + graph.m * 4.0
+
+
+_tpa_probe.method = "TPA"
+
+
+def _foraplus_probe(graph):
+    from repro.baselines.foraplus import expected_index_walks
+    from repro.core.params import AccuracyParams
+
+    accuracy = AccuracyParams.paper_defaults(graph.n)
+    return expected_index_walks(graph, accuracy) * 8.0
+
+
+_foraplus_probe.method = "FORA+"
+
+
+def run_table4(cfg=None):
+    """Query time / preprocessing time / index size of index-oriented
+    methods against (index-free) ResAcc."""
+    cfg = cfg or BenchConfig()
+    time_table = Table(
+        title="Table IV(a) -- avg query time (seconds)",
+        headers=["dataset", "BePI", "TPA", "FORA+", "ResAcc"],
+    )
+    prep_table = Table(
+        title="Table IV(b) -- preprocessing time (seconds)",
+        headers=["dataset", "BePI", "TPA", "FORA+", "ResAcc"],
+    )
+    size_table = Table(
+        title="Table IV(c) -- index size (bytes) and graph size",
+        headers=["dataset", "BePI", "TPA", "FORA+", "ResAcc", "graph"],
+    )
+    for t in (time_table, prep_table, size_table):
+        t.add_note(_delta_note(cfg))
+        t.add_note(
+            "o.o.m = projected paper-scale build exceeds the 64 GB "
+            "benchmark machine (probed bytes x paper_m/m x per-method "
+            "working-set factor)"
+        )
+    for name in _datasets(cfg):
+        graph = _load(cfg, name)
+        accuracy = cfg.accuracy_for(graph)
+        sources = cfg.sources_for(graph)
+        indexes = {
+            "BePI": _try_build(
+                lambda: BePIIndex(graph, alpha=ALPHA), graph, name,
+                probe_bytes=_bepi_probe),
+            "TPA": _try_build(
+                lambda: TPAIndex(graph, alpha=ALPHA), graph, name,
+                probe_bytes=_tpa_probe),
+            "FORA+": _try_build(
+                lambda: ForaPlusIndex(graph, alpha=ALPHA, accuracy=accuracy,
+                                      seed=cfg.seed),
+                graph, name, probe_bytes=_foraplus_probe),
+        }
+        solvers = {
+            label: make_index_solver(index)
+            for label, index in indexes.items() if index is not None
+        }
+        solvers["ResAcc"] = make_resacc(accuracy, catalog.bench_h(name),
+                                        seed=cfg.seed)
+        runs = run_suite(graph, sources, solvers, keep_estimates=False)
+
+        def cell(label, value):
+            return value if indexes.get(label) is not None or \
+                label == "ResAcc" else OOM
+
+        time_table.add_row(
+            name,
+            *(runs[c].mean_seconds if c in runs else OOM
+              for c in ("BePI", "TPA", "FORA+")),
+            runs["ResAcc"].mean_seconds,
+        )
+        prep_table.add_row(
+            name,
+            *(cell(c, indexes[c].preprocess_seconds
+                   if indexes.get(c) else OOM)
+              for c in ("BePI", "TPA", "FORA+")),
+            0.0,
+        )
+        size_table.add_row(
+            name,
+            *(cell(c, indexes[c].index_bytes if indexes.get(c) else OOM)
+              for c in ("BePI", "TPA", "FORA+")),
+            0,
+            int(graph.indptr.nbytes + graph.indices.nbytes),
+        )
+    return [time_table, prep_table, size_table]
+
+
+# ----------------------------------------------------------------------
+# Figures 4 & 5 -- absolute error and NDCG at the k-th largest values
+# ----------------------------------------------------------------------
+#: Figures 4, 5 and 11 share one expensive sweep per (config, dataset);
+#: memoized so each runs the solvers exactly once.
+_SUITE_CACHE = {}
+
+
+def _accuracy_suite(cfg, name, *, include_indexed=True):
+    key = (cfg, name, include_indexed)
+    if key not in _SUITE_CACHE:
+        _SUITE_CACHE[key] = _accuracy_suite_uncached(
+            cfg, name, include_indexed=include_indexed
+        )
+    return _SUITE_CACHE[key]
+
+
+def _accuracy_suite_uncached(cfg, name, *, include_indexed=True):
+    graph = _load(cfg, name)
+    accuracy = cfg.accuracy_for(graph)
+    sources = cfg.sources_for(graph)
+    solvers = {
+        "MC": make_mc(accuracy, seed=cfg.seed),
+        "FORA": make_fora(accuracy, seed=cfg.seed),
+        "TopPPR": make_topppr(accuracy, k=min(100_000, graph.n),
+                              seed=cfg.seed,
+                              max_candidates=32 if cfg.fast else 96, r_max_b=5e-3),
+        "ResAcc": make_resacc(accuracy, catalog.bench_h(name),
+                              seed=cfg.seed),
+    }
+    if include_indexed:
+        bepi = _try_build(lambda: BePIIndex(graph, alpha=ALPHA), graph, name,
+                          probe_bytes=_bepi_probe)
+        if bepi is not None:
+            solvers["BePI"] = make_index_solver(bepi)
+        solvers["TPA"] = make_index_solver(TPAIndex(graph, alpha=ALPHA))
+    runs = run_suite(graph, sources, solvers)
+    cache = GroundTruthCache(alpha=ALPHA)
+    truths = truths_for(cache, graph, sources)
+    return graph, runs, truths
+
+
+def run_fig4(cfg=None, *, datasets=None):
+    """Absolute error of the k-th largest RWR values (Fig. 4)."""
+    cfg = cfg or BenchConfig()
+    artifacts = []
+    for name in datasets or _datasets(cfg, limit=3 if cfg.fast else None):
+        graph, runs, truths = _accuracy_suite(cfg, name)
+        ks = [k for k in K_GRID if k <= graph.n]
+        series = Series(
+            title=f"Fig 4 -- absolute error @ k-th largest true value "
+                  f"({name})",
+            x_label="k", x_values=ks,
+        )
+        for label, run in runs.items():
+            errors = run.mean_abs_error_at_kth(truths, ks)
+            series.add_line(label, [errors[k] for k in ks])
+        series.add_note(_delta_note(cfg))
+        artifacts.append(series)
+    return artifacts
+
+
+def run_fig5(cfg=None, *, datasets=None):
+    """NDCG of each method's top-k ranking (Fig. 5)."""
+    cfg = cfg or BenchConfig()
+    artifacts = []
+    for name in datasets or _datasets(cfg, limit=3 if cfg.fast else None):
+        graph, runs, truths = _accuracy_suite(cfg, name)
+        ks = [k for k in K_GRID if k <= graph.n]
+        series = Series(
+            title=f"Fig 5 -- NDCG @ k ({name})",
+            x_label="k", x_values=ks,
+        )
+        for label, run in runs.items():
+            ndcgs = run.mean_ndcg_at(truths, ks)
+            series.add_line(label, [ndcgs[k] for k in ks])
+        series.add_note(_delta_note(cfg))
+        artifacts.append(series)
+    return artifacts
+
+
+# ----------------------------------------------------------------------
+# Figure 6 -- fair comparison with FORA
+# ----------------------------------------------------------------------
+def run_fig6(cfg=None):
+    """(a) equal-time absolute error; (b) equal-error query time."""
+    cfg = cfg or BenchConfig()
+    cache = GroundTruthCache(alpha=ALPHA)
+    name = "twitter" if not cfg.fast else "pokec"
+    graph = _load(cfg, name)
+    accuracy = cfg.accuracy_for(graph)
+    sources = cfg.sources_for(graph)
+    truths = truths_for(cache, graph, sources)
+
+    # (a) give FORA exactly ResAcc's time budget per source.
+    h = catalog.bench_h(name)
+    resacc_solver = make_resacc(accuracy, h, seed=cfg.seed)
+    equal_time = Table(
+        title=f"Fig 6(a) -- abs error at equal query time ({name})",
+        headers=["source", "ResAcc seconds", "ResAcc abs err",
+                 "FORA(time-capped) abs err", "error ratio FORA/ResAcc"],
+    )
+    for source, truth in zip(sources, truths):
+        res, res_seconds = timed(resacc_solver, graph, source)
+        capped = fora(graph, source, accuracy=accuracy, alpha=ALPHA,
+                      rng=rng_for(cfg.seed, source),
+                      max_seconds=res_seconds)
+        err_res = mean_abs_error(truth, res.estimates)
+        err_fora = mean_abs_error(truth, capped.estimates)
+        equal_time.add_row(
+            source, res_seconds, err_res, err_fora,
+            err_fora / err_res if err_res else float("inf"),
+        )
+    equal_time.add_note(_delta_note(cfg))
+
+    # (b) scale ResAcc's walk budget down until it matches FORA's error.
+    equal_error = Table(
+        title="Fig 6(b) -- query time at matched empirical error",
+        headers=["dataset", "FORA seconds", "FORA abs err",
+                 "ResAcc seconds", "ResAcc abs err", "speedup"],
+    )
+    for ds in (("dblp", "pokec", name) if not cfg.fast
+               else ("dblp", "pokec")):
+        g = _load(cfg, ds)
+        acc = cfg.accuracy_for(g)
+        srcs = cfg.sources_for(g)[:max(2, cfg.num_sources // 2)]
+        ts = truths_for(cache, g, srcs)
+        fora_solver = make_fora(acc, seed=cfg.seed)
+        fora_runs = [timed(fora_solver, g, s) for s in srcs]
+        fora_seconds = float(np.mean([sec for _, sec in fora_runs]))
+        fora_err = float(np.mean([
+            mean_abs_error(t, r.estimates)
+            for (r, _), t in zip(fora_runs, ts)
+        ]))
+        matched = None
+        for walk_scale in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+            solver = make_resacc(acc, catalog.bench_h(ds), seed=cfg.seed,
+                                 walk_scale=walk_scale)
+            runs = [timed(solver, g, s) for s in srcs]
+            err = float(np.mean([
+                mean_abs_error(t, r.estimates)
+                for (r, _), t in zip(runs, ts)
+            ]))
+            seconds = float(np.mean([sec for _, sec in runs]))
+            matched = (seconds, err)
+            if abs(err - fora_err) < 0.1 * fora_err or err <= fora_err:
+                break
+        seconds, err = matched
+        equal_error.add_row(ds, fora_seconds, fora_err, seconds, err,
+                            fora_seconds / seconds if seconds else
+                            float("inf"))
+    equal_error.add_note(
+        "ResAcc's remedy budget swept over n_scale in {0,0.2,...,1.0} "
+        "until its error matches FORA's (Appendix F protocol)"
+    )
+    return [equal_time, equal_error]
+
+
+# ----------------------------------------------------------------------
+# Figures 7-10 -- performance distributions over query nodes
+# ----------------------------------------------------------------------
+def run_fig7_10(cfg=None):
+    """Boxplot and error-bar summaries of time / abs error / NDCG."""
+    cfg = cfg or BenchConfig()
+    cache = GroundTruthCache(alpha=ALPHA)
+    artifacts = []
+    datasets = ("dblp",) if cfg.fast else ("dblp", "twitter")
+    for name in datasets:
+        graph = _load(cfg, name)
+        accuracy = cfg.accuracy_for(graph)
+        sources = cfg.sources_for(graph)
+        solvers = {
+            "MC": make_mc(accuracy, seed=cfg.seed),
+            "FORA": make_fora(accuracy, seed=cfg.seed),
+            "TopPPR": make_topppr(accuracy, k=min(100_000, graph.n),
+                                  seed=cfg.seed,
+                                  max_candidates=32 if cfg.fast else 96, r_max_b=5e-3),
+            "TPA": make_index_solver(TPAIndex(graph, alpha=ALPHA)),
+            "ResAcc": make_resacc(accuracy, catalog.bench_h(name),
+                                  seed=cfg.seed),
+        }
+        bepi = _try_build(lambda: BePIIndex(graph, alpha=ALPHA), graph, name,
+                          probe_bytes=_bepi_probe)
+        if bepi is not None:
+            solvers["BePI"] = make_index_solver(bepi)
+        runs = run_suite(graph, sources, solvers)
+        truths = truths_for(cache, graph, sources)
+
+        box = Table(
+            title=f"Figs 7-8 -- boxplot summaries ({name})",
+            headers=["method", "metric", "min", "Q1", "median", "Q3", "max"],
+        )
+        bars = Table(
+            title=f"Figs 9-10 -- error-bar summaries ({name})",
+            headers=["method", "metric", "mean", "std"],
+        )
+        ndcg_k = min(1000, graph.n)
+        for label, run in runs.items():
+            samples = {
+                "query seconds": run.seconds,
+                "abs error": run.per_source_abs_errors(truths),
+                f"ndcg@{ndcg_k}": run.per_source_ndcg(truths, ndcg_k),
+            }
+            for metric, values in samples.items():
+                box.add_row(label, metric, *boxplot_summary(values).as_row())
+                bars.add_row(label, metric,
+                             *error_bar_summary(values).as_row())
+        box.add_note(_delta_note(cfg))
+        artifacts.extend([box, bars])
+    return artifacts
+
+
+# ----------------------------------------------------------------------
+# Table VII -- per-phase breakdown of ResAcc
+# ----------------------------------------------------------------------
+def run_table7(cfg=None):
+    """Time spent in each ResAcc phase per dataset."""
+    cfg = cfg or BenchConfig()
+    table = Table(
+        title="Table VII -- ResAcc per-phase query time (seconds)",
+        headers=["dataset", "h-HopFWD", "OMFWD", "Remedy", "total",
+                 "hhop %", "omfwd %", "remedy %"],
+    )
+    for name in _datasets(cfg):
+        graph = _load(cfg, name)
+        accuracy = cfg.accuracy_for(graph)
+        params = ResAccParams(alpha=ALPHA, h=catalog.bench_h(name))
+        sources = cfg.sources_for(graph)
+        phases = {"hhopfwd": [], "omfwd": [], "remedy": []}
+        for source in sources:
+            result = resacc(graph, source, params=params, accuracy=accuracy,
+                            rng=rng_for(cfg.seed, source))
+            for phase, seconds in result.phase_seconds.items():
+                phases[phase].append(seconds)
+        means = {p: float(np.mean(v)) for p, v in phases.items()}
+        total = sum(means.values())
+        table.add_row(
+            name, means["hhopfwd"], means["omfwd"], means["remedy"], total,
+            *(round(100.0 * means[p] / total, 2) if total else 0.0
+              for p in ("hhopfwd", "omfwd", "remedy")),
+        )
+    table.add_note(_delta_note(cfg))
+    return [table]
+
+
+#: CLI registry for the main-body experiments.
+MAIN_EXPERIMENTS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7-10": run_fig7_10,
+    "table7": run_table7,
+}

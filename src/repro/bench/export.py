@@ -1,0 +1,87 @@
+"""Machine-readable export of experiment artifacts.
+
+Tables and series render to text for humans; these helpers serialize the
+same artifacts to JSON (one document per run) and CSV (one file per
+artefact) so results can be diffed, plotted, or tracked across commits.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.bench.report import Series, Table
+from repro.errors import ParameterError
+
+
+def artifact_to_dict(artifact):
+    """A JSON-safe dict for one Table or Series."""
+    if isinstance(artifact, Table):
+        return {
+            "kind": "table",
+            "title": artifact.title,
+            "headers": list(artifact.headers),
+            "rows": [[_json_safe(c) for c in row] for row in artifact.rows],
+            "notes": list(artifact.notes),
+        }
+    if isinstance(artifact, Series):
+        return {
+            "kind": "series",
+            "title": artifact.title,
+            "x_label": artifact.x_label,
+            "x_values": [_json_safe(x) for x in artifact.x_values],
+            "lines": {name: [_json_safe(v) for v in line]
+                      for name, line in artifact.lines.items()},
+            "notes": list(artifact.notes),
+        }
+    raise ParameterError(f"cannot export {type(artifact).__name__}")
+
+
+def export_json(artifacts, path, *, experiment=None):
+    """Write a list of artifacts as one JSON document."""
+    payload = {
+        "experiment": experiment,
+        "artifacts": [artifact_to_dict(a) for a in artifacts],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_json(path):
+    """Read a document written by :func:`export_json`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def export_csv(artifact, path):
+    """Write one artefact as CSV (series become x + one column per line)."""
+    data = artifact_to_dict(artifact)
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        if data["kind"] == "table":
+            writer.writerow(data["headers"])
+            writer.writerows(data["rows"])
+        else:
+            names = list(data["lines"])
+            writer.writerow([data["x_label"], *names])
+            for i, x in enumerate(data["x_values"]):
+                writer.writerow([x, *(data["lines"][n][i] for n in names)])
+    return path
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        if value != value:                     # NaN
+            return None
+        if value in (float("inf"), float("-inf")):
+            return str(value)
+        return value
+    # numpy scalars and anything else with .item()
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _json_safe(item())
+    return str(value)

@@ -1,0 +1,130 @@
+"""Plain-text rendering of experiment tables and figure data series.
+
+Every experiment in :mod:`repro.bench.experiments` produces either a
+:class:`Table` (for the paper's tables) or a :class:`Series` (for its
+figures: one row per x-value, one column per plotted line).  Both render
+to aligned monospace text so ``repro-bench run <id>`` output can be
+compared side-by-side with the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+OOM = "o.o.m"    # matches the paper's out-of-memory marker
+OOT = "o.o.t"    # matches the paper's over-time marker
+
+
+def format_value(value, *, digits=4):
+    """Human-friendly scalar formatting (engineering style for extremes)."""
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.{digits - 1}e}"
+    return f"{value:.{digits}g}"
+
+
+@dataclass
+class Table:
+    """A titled, aligned text table."""
+
+    title: str
+    headers: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add_row(self, *cells):
+        self.rows.append(list(cells))
+
+    def add_note(self, note):
+        self.notes.append(note)
+
+    def render(self):
+        cells = [[format_value(c) for c in row] for row in self.rows]
+        headers = [str(h) for h in self.headers]
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i])
+                               for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, header):
+        """All values of one column, by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def to_markdown(self):
+        """GitHub-flavoured markdown rendering (for docs and issues)."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers)
+                     + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(format_value(c) for c in row)
+                         + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()
+
+
+@dataclass
+class Series:
+    """Figure data: x-values against one or more named lines."""
+
+    title: str
+    x_label: str
+    x_values: list
+    lines: dict = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+
+    def add_line(self, name, values):
+        values = list(values)
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"line {name!r} has {len(values)} points, "
+                f"expected {len(self.x_values)}"
+            )
+        self.lines[name] = values
+
+    def add_note(self, note):
+        self.notes.append(note)
+
+    def to_table(self):
+        table = Table(title=self.title,
+                      headers=[self.x_label, *self.lines.keys()],
+                      notes=list(self.notes))
+        for i, x in enumerate(self.x_values):
+            table.add_row(x, *(line[i] for line in self.lines.values()))
+        return table
+
+    def render(self):
+        return self.to_table().render()
+
+    def __str__(self):
+        return self.render()
+
+
+def render_all(artifacts):
+    """Render a list of tables/series separated by blank lines."""
+    return "\n\n".join(a.render() for a in artifacts)

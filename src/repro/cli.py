@@ -1,0 +1,135 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Examples::
+
+    repro-bench list
+    repro-bench run table3 --fast
+    repro-bench run fig4 --scale 0.5 --sources 10
+    repro-bench run all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import ALL_EXPERIMENTS, BenchConfig, render_all
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the ResAcc paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    datasets_cmd = sub.add_parser(
+        "datasets", help="describe the dataset catalog"
+    )
+    datasets_cmd.add_argument("--scale", type=float, default=1.0)
+    compare_cmd = sub.add_parser(
+        "compare", help="diff two exported JSON runs"
+    )
+    compare_cmd.add_argument("baseline")
+    compare_cmd.add_argument("candidate")
+    compare_cmd.add_argument("--min-ratio", type=float, default=1.25)
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment",
+                     help="experiment id from 'list', or 'all'")
+    run.add_argument("--fast", action="store_true",
+                     help="small graphs, few sources (seconds per table)")
+    run.add_argument("--scale", type=float, default=None,
+                     help="dataset scale factor (default 1.0, fast: 0.25)")
+    run.add_argument("--sources", type=int, default=None,
+                     help="query nodes per dataset (default 5, fast: 3)")
+    run.add_argument("--delta-scale", type=float, default=None,
+                     help="relax delta to this multiple of 1/n "
+                          "(default 50, fast: 200)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="also write the artifacts as a JSON document "
+                          "(for 'all': one file per experiment, suffixed "
+                          "with the experiment id)")
+    return parser
+
+
+def config_from_args(args):
+    base = BenchConfig.fast_defaults() if args.fast else BenchConfig()
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.sources is not None:
+        overrides["num_sources"] = args.sources
+    if args.delta_scale is not None:
+        overrides["delta_scale"] = args.delta_scale
+    overrides["seed"] = args.seed
+    return base.scaled(**overrides)
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+    if args.command == "datasets":
+        _print_datasets(args.scale)
+        return 0
+    if args.command == "compare":
+        from repro.bench.compare import compare_files
+
+        comparisons = compare_files(args.baseline, args.candidate,
+                                    min_ratio_of_interest=args.min_ratio)
+        print(render_all(comparisons))
+        return 0
+    if args.experiment == "all":
+        names = list(ALL_EXPERIMENTS)
+    elif args.experiment in ALL_EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"known: {', '.join(ALL_EXPERIMENTS)} or 'all'",
+              file=sys.stderr)
+        return 2
+    cfg = config_from_args(args)
+    for name in names:
+        tic = time.perf_counter()
+        artifacts = ALL_EXPERIMENTS[name](cfg)
+        elapsed = time.perf_counter() - tic
+        print(render_all(artifacts))
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        if args.json:
+            from pathlib import Path
+
+            from repro.bench.export import export_json
+
+            target = Path(args.json)
+            if len(names) > 1:
+                target = target.with_name(
+                    f"{target.stem}-{name}{target.suffix or '.json'}"
+                )
+            export_json(artifacts, target, experiment=name)
+    return 0
+
+
+def _print_datasets(scale):
+    from repro.bench.report import Table
+    from repro.datasets import catalog
+    from repro.graph.validation import graph_stats
+
+    table = Table(
+        title=f"dataset catalog (scale={scale:g})",
+        headers=["name", "kind", "n", "m", "m/n", "h (paper)",
+                 "description"],
+    )
+    for name in catalog.names():
+        entry = catalog.spec(name)
+        stats = graph_stats(catalog.load(name, scale=scale))
+        table.add_row(name, entry.kind, stats.n, stats.m,
+                      round(stats.density, 1), entry.h, entry.description)
+    print(table.render())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

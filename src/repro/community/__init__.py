@@ -1,0 +1,36 @@
+"""Overlapping community detection (NISE) and quality metrics."""
+
+from repro.community.nise import NISEResult, nise
+from repro.community.quality import (
+    average_conductance,
+    average_normalized_cut,
+    conductance,
+    cut_and_volume,
+    membership_mask,
+    modularity,
+    normalized_cut,
+)
+from repro.community.seeding import (
+    highest_out_degree_nodes,
+    random_seeds,
+    spread_hubs,
+)
+from repro.community.sweep import SweepResult, sweep_cut, sweep_order
+
+__all__ = [
+    "NISEResult",
+    "SweepResult",
+    "average_conductance",
+    "average_normalized_cut",
+    "conductance",
+    "cut_and_volume",
+    "highest_out_degree_nodes",
+    "membership_mask",
+    "modularity",
+    "nise",
+    "normalized_cut",
+    "random_seeds",
+    "spread_hubs",
+    "sweep_cut",
+    "sweep_order",
+]

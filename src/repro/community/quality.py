@@ -1,0 +1,109 @@
+"""Community quality metrics (Appendix L): normalized cut and conductance.
+
+Definitions follow NISE [30].  For a community ``C``:
+
+* ``cut(C)`` -- directed edges leaving ``C`` for its complement;
+* ``links(C, V)`` -- directed edges originating in ``C`` (its volume);
+* ``ncut(C) = cut(C) / links(C, V)``;
+* ``cond(C) = cut(C) / min(links(C, V), links(V - C, V))``.
+
+On the symmetrized graphs the community experiments use, these coincide
+with the standard undirected definitions.  Smaller is better for both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def membership_mask(graph, community):
+    """Boolean mask over nodes for an iterable of member ids."""
+    mask = np.zeros(graph.n, dtype=bool)
+    members = np.asarray(list(community), dtype=np.int64)
+    if members.size and (members.min() < 0 or members.max() >= graph.n):
+        raise ParameterError("community member out of range")
+    mask[members] = True
+    return mask
+
+
+def cut_and_volume(graph, community):
+    """``(cut(C), links(C, V))`` for a community."""
+    mask = community if isinstance(community, np.ndarray) and \
+        community.dtype == bool else membership_mask(graph, community)
+    members = np.flatnonzero(mask)
+    volume = int(graph.out_degrees[members].sum())
+    if volume == 0:
+        return 0, 0
+    edges = graph.edge_array()
+    from_c = mask[edges[:, 0]]
+    leaving = int((from_c & ~mask[edges[:, 1]]).sum())
+    return leaving, volume
+
+
+def normalized_cut(graph, community):
+    """``ncut(C)``; 0 for an empty or volume-less community."""
+    cut, volume = cut_and_volume(graph, community)
+    return cut / volume if volume else 0.0
+
+
+def conductance(graph, community):
+    """``cond(C)``; 0 when either side has no volume."""
+    cut, volume = cut_and_volume(graph, community)
+    complement_volume = graph.m - volume
+    denominator = min(volume, complement_volume)
+    return cut / denominator if denominator else 0.0
+
+
+def average_normalized_cut(graph, communities):
+    """ANC over a collection of communities (Table V/VI metric)."""
+    communities = list(communities)
+    if not communities:
+        raise ParameterError("need at least one community")
+    return float(np.mean([normalized_cut(graph, c) for c in communities]))
+
+
+def average_conductance(graph, communities):
+    """AC over a collection of communities (Table V/VI metric)."""
+    communities = list(communities)
+    if not communities:
+        raise ParameterError("need at least one community")
+    return float(np.mean([conductance(graph, c) for c in communities]))
+
+
+def modularity(graph, communities):
+    """Newman modularity of a (possibly partial) node partition.
+
+    ``Q = sum_c [ e_cc / m - (vol_c / m)^2 ]`` over communities ``c``,
+    where ``e_cc`` counts directed intra-community edges and ``vol_c``
+    is the community's out-degree volume.  Nodes outside every community
+    contribute nothing; a node in several communities is scored under
+    the first community that lists it (overlap-aware variants are out of
+    scope).  Larger is better; Q is at most 1.
+    """
+    if graph.m == 0:
+        raise ParameterError("modularity is undefined on edgeless graphs")
+    assignment = np.full(graph.n, -1, dtype=np.int64)
+    for label, community in enumerate(communities):
+        members = np.asarray(list(community), dtype=np.int64)
+        if members.size and (members.min() < 0 or members.max() >= graph.n):
+            raise ParameterError("community member out of range")
+        fresh = members[assignment[members] < 0]
+        assignment[fresh] = label
+    edges = graph.edge_array()
+    src_label = assignment[edges[:, 0]]
+    dst_label = assignment[edges[:, 1]]
+    num_labels = len(list(communities))
+    if num_labels == 0:
+        raise ParameterError("need at least one community")
+    internal = np.bincount(
+        src_label[(src_label >= 0) & (src_label == dst_label)],
+        minlength=num_labels,
+    ).astype(np.float64)
+    volume = np.zeros(num_labels, dtype=np.float64)
+    assigned = assignment >= 0
+    np.add.at(volume, assignment[assigned],
+              graph.out_degrees[assigned].astype(np.float64))
+    m = float(graph.m)
+    return float(np.sum(internal / m - (volume / m) ** 2))

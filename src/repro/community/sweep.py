@@ -1,0 +1,95 @@
+"""Sweep cut: turn a node ordering into a low-conductance community.
+
+Given per-node scores (typically an SSRWR/PPR vector), nodes are ranked by
+``score / degree`` -- the classic Andersen-Chung-Lang normalization -- and
+prefixes of the ranking are scanned for the one with minimum conductance.
+The scan maintains cut and volume incrementally, so a full sweep over a
+prefix of size ``p`` costs O(edges incident to the prefix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Best prefix found by a sweep."""
+
+    community: np.ndarray     # member node ids, in sweep order
+    conductance: float
+    size: int
+
+
+def sweep_order(graph, scores, *, degree_normalized=True):
+    """Nodes with positive score, best-first.
+
+    ``degree_normalized=True`` ranks by ``score / d_out`` (dangling nodes
+    use degree 1), which is the ordering with the Cheeger-style guarantee.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape != (graph.n,):
+        raise ParameterError("scores must be a length-n vector")
+    positive = np.flatnonzero(scores > 0.0)
+    if degree_normalized:
+        degrees = np.maximum(graph.out_degrees[positive], 1)
+        keys = scores[positive] / degrees
+    else:
+        keys = scores[positive]
+    return positive[np.argsort(-keys, kind="stable")]
+
+
+def sweep_cut(graph, scores, *, max_size=None, min_size=1,
+              degree_normalized=True, order=None):
+    """Minimum-conductance prefix of the sweep ordering.
+
+    ``order`` overrides the score-based ordering entirely (the
+    NISE-without-SSRWR variant passes a BFS-distance ordering here).
+    """
+    if order is None:
+        order = sweep_order(graph, scores, degree_normalized=degree_normalized)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+    if order.size == 0:
+        raise ParameterError("sweep ordering is empty (all scores zero?)")
+    if max_size is None:
+        max_size = max(graph.n // 2, 1)
+    max_size = min(int(max_size), order.size)
+    min_size = max(int(min_size), 1)
+
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.out_degrees
+    rev_indptr, rev_indices = graph.reverse_adjacency()
+    member = np.zeros(graph.n, dtype=bool)
+    total_volume = graph.m
+    volume = 0
+    internal = 0  # directed edges with both endpoints inside the prefix
+    best_conductance = np.inf
+    best_size = 0
+    for position in range(max_size):
+        v = int(order[position])
+        out_nbrs = indices[indptr[v]: indptr[v + 1]]
+        in_nbrs = rev_indices[rev_indptr[v]: rev_indptr[v + 1]]
+        internal += int(member[out_nbrs].sum()) + int(member[in_nbrs].sum())
+        member[v] = True
+        volume += int(degrees[v])
+        cut = volume - internal
+        denominator = min(volume, total_volume - volume)
+        if denominator <= 0:
+            break
+        conductance = cut / denominator
+        if position + 1 >= min_size and conductance < best_conductance:
+            best_conductance = conductance
+            best_size = position + 1
+    if best_size == 0:
+        best_size = min(min_size, order.size)
+        best_conductance = 1.0
+    return SweepResult(
+        community=order[:best_size].copy(),
+        conductance=float(best_conductance),
+        size=int(best_size),
+    )

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: ResAcc and its building blocks."""
+
+from repro.core.hhop import HHopOutcome, h_hop_forward, oaop_reference
+from repro.core.multisource import MSRWRResult, msrwr
+from repro.core.omfwd import omfwd, residue_sum
+from repro.core.ppr import (
+    exact_ppr,
+    normalize_preference,
+    personalized_pagerank,
+)
+from repro.core.params import (
+    AccuracyParams,
+    ResAccParams,
+    fora_r_max,
+)
+from repro.core.remedy import RemedyOutcome, remedy
+from repro.core.resacc import resacc
+from repro.core.result import SSRWRResult
+from repro.core.serialize import load_result, save_result
+from repro.core.topk import TopKResult, topk_certified, topk_ssrwr
+from repro.core.variants import (
+    no_loop_resacc,
+    no_ofd_resacc,
+    no_sg_resacc,
+)
+
+__all__ = [
+    "AccuracyParams",
+    "HHopOutcome",
+    "MSRWRResult",
+    "RemedyOutcome",
+    "ResAccParams",
+    "SSRWRResult",
+    "TopKResult",
+    "exact_ppr",
+    "fora_r_max",
+    "h_hop_forward",
+    "load_result",
+    "msrwr",
+    "no_loop_resacc",
+    "no_ofd_resacc",
+    "no_sg_resacc",
+    "normalize_preference",
+    "oaop_reference",
+    "omfwd",
+    "personalized_pagerank",
+    "remedy",
+    "resacc",
+    "residue_sum",
+    "save_result",
+    "topk_certified",
+    "topk_ssrwr",
+]

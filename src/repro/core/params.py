@@ -1,0 +1,130 @@
+"""Parameter objects and the paper's default settings (Section VII-A).
+
+Defaults follow the experimental setup: ``alpha = 0.2``, ``eps = 0.5``,
+``delta = 1/n``, ``p_f = 1/n``, ``r_max_f = 1 / (10 m)``,
+``r_max_hop = 1e-14`` and ``h = 2`` (``h = 3`` only for DBLP, Table II).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import ParameterError
+
+DEFAULT_ALPHA = 0.2
+DEFAULT_EPS = 0.5
+DEFAULT_R_MAX_HOP = 1e-14
+DEFAULT_H = 2
+
+
+@dataclass(frozen=True)
+class AccuracyParams:
+    """The approximate-SSRWR accuracy contract of Definition 1.
+
+    For every node ``t`` with ``pi(s, t) > delta`` the estimate must be
+    within relative error ``eps`` with probability at least ``1 - p_f``.
+    """
+
+    eps: float
+    delta: float
+    p_f: float
+
+    def __post_init__(self):
+        if not 0.0 < self.eps:
+            raise ParameterError(f"eps must be positive, got {self.eps}")
+        if not 0.0 < self.delta <= 1.0:
+            raise ParameterError(f"delta must be in (0, 1], got {self.delta}")
+        if not 0.0 < self.p_f < 1.0:
+            raise ParameterError(f"p_f must be in (0, 1), got {self.p_f}")
+
+    @classmethod
+    def paper_defaults(cls, n, *, eps=DEFAULT_EPS, delta_scale=1.0):
+        """``eps = 0.5``, ``delta = p_f = 1/n`` (Section VII-A).
+
+        ``delta_scale`` multiplies ``delta`` -- the bench harness uses it to
+        keep pure-Python runtimes reasonable; the scaling is reported with
+        every bench table.
+        """
+        if n < 2:
+            raise ParameterError(f"need n >= 2 for paper defaults, got {n}")
+        delta = min(1.0, delta_scale / n)
+        return cls(eps=eps, delta=delta, p_f=1.0 / n)
+
+    @property
+    def walk_constant(self):
+        """``c = (2 eps / 3 + 2) * ln(2 / p_f) / (eps^2 * delta)``.
+
+        The remedy phase needs ``n_r = r_sum * c`` walks (Theorem 3).
+        """
+        return ((2.0 * self.eps / 3.0 + 2.0) * math.log(2.0 / self.p_f)
+                / (self.eps ** 2 * self.delta))
+
+    def num_walks(self, r_sum):
+        """``n_r`` for a given total residue ``r_sum``."""
+        if r_sum < 0:
+            raise ParameterError(f"r_sum must be >= 0, got {r_sum}")
+        return int(math.ceil(r_sum * self.walk_constant))
+
+    def with_eps(self, eps):
+        """A copy with a different relative-error target."""
+        return replace(self, eps=eps)
+
+
+@dataclass(frozen=True)
+class ResAccParams:
+    """Knobs of Algorithm 2.
+
+    ``r_max_f = None`` means "derive ``1 / (10 m)`` from the graph at query
+    time" (the paper's default).
+    """
+
+    alpha: float = DEFAULT_ALPHA
+    h: int = DEFAULT_H
+    r_max_hop: float = DEFAULT_R_MAX_HOP
+    r_max_f: float | None = None
+    push_method: str = "frontier"
+
+    def __post_init__(self):
+        if not 0.0 < self.alpha < 1.0:
+            raise ParameterError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.h < 0:
+            raise ParameterError(f"h must be >= 0, got {self.h}")
+        if self.r_max_hop <= 0.0:
+            raise ParameterError(
+                f"r_max_hop must be positive, got {self.r_max_hop}"
+            )
+        if self.r_max_f is not None and self.r_max_f <= 0.0:
+            raise ParameterError(
+                f"r_max_f must be positive, got {self.r_max_f}"
+            )
+        if self.push_method not in ("frontier", "queue"):
+            raise ParameterError(
+                f"push_method must be 'frontier' or 'queue', "
+                f"got {self.push_method!r}"
+            )
+
+    def bound_r_max_f(self, graph):
+        """The OMFWD threshold: explicit value or the default ``1/(10 m)``.
+
+        An edgeless graph admits no pushes at all, so any threshold is
+        equivalent; 1.0 is returned to keep queries on degenerate graphs
+        working (the answer is simply ``e_s``).
+        """
+        if self.r_max_f is not None:
+            return self.r_max_f
+        if graph.m == 0:
+            return 1.0
+        return 1.0 / (10.0 * graph.m)
+
+
+def fora_r_max(graph, accuracy, alpha=DEFAULT_ALPHA):
+    """FORA's balanced forward-push threshold.
+
+    FORA's cost is ``O(1 / (alpha r_max) + m r_max c / alpha)``; the two
+    terms are equal at ``r_max = 1 / sqrt(m c)``, which [28] adopts.
+    """
+    if graph.m == 0:
+        raise ParameterError("cannot derive r_max on an edgeless graph")
+    del alpha  # the optimum is independent of alpha (it divides both terms)
+    return 1.0 / math.sqrt(graph.m * accuracy.walk_constant)

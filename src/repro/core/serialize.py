@@ -1,0 +1,75 @@
+"""Persisting query results.
+
+Recommendation services cache SSRWR vectors for hot sources; these
+helpers round-trip :class:`SSRWRResult` through ``.npz`` so cached
+answers survive process restarts without any extra dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.result import SSRWRResult
+from repro.errors import ParameterError
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result, path):
+    """Write an :class:`SSRWRResult` to a compressed ``.npz`` file.
+
+    ``extras`` values that are not JSON-serializable are stringified;
+    large array-valued extras are dropped (they are diagnostics, not
+    part of the answer).
+    """
+    extras = {}
+    for key, value in result.extras.items():
+        if isinstance(value, np.ndarray):
+            continue
+        try:
+            json.dumps(value)
+            extras[key] = value
+        except TypeError:
+            extras[key] = str(value)
+    meta = {
+        "source": result.source,
+        "alpha": result.alpha,
+        "algorithm": result.algorithm,
+        "walks_used": result.walks_used,
+        "pushes": result.pushes,
+        "phase_seconds": result.phase_seconds,
+        "extras": extras,
+    }
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        estimates=result.estimates,
+        meta=np.bytes_(json.dumps(meta).encode()),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz")
+
+
+def load_result(path):
+    """Read a result previously written by :func:`save_result`."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ParameterError(
+                f"unsupported result file version {version} in {path}"
+            )
+        meta = json.loads(bytes(data["meta"]).decode())
+        return SSRWRResult(
+            source=int(meta["source"]),
+            estimates=data["estimates"],
+            alpha=float(meta["alpha"]),
+            algorithm=meta["algorithm"],
+            walks_used=int(meta["walks_used"]),
+            pushes=int(meta["pushes"]),
+            phase_seconds=dict(meta["phase_seconds"]),
+            extras=dict(meta["extras"]),
+        )

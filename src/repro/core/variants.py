@@ -1,0 +1,156 @@
+"""Ablation variants of ResAcc (Appendix K, Figure 24).
+
+Each variant removes exactly one of the paper's three tricks:
+
+* :func:`no_loop_resacc` -- drops the accumulating-loop strategy: the
+  source re-pushes like any other node inside the h-hop subgraph
+  (plain Forward Search restricted to ``V_h(s)``), then OMFWD + remedy.
+* :func:`no_sg_resacc` -- drops the h-hop induced subgraph: the
+  accumulating loop runs over the whole graph (every node except the
+  source may push under ``r_max_hop``), then OMFWD + remedy.
+* :func:`no_ofd_resacc` -- drops the OMFWD phase: the large residues on
+  the boundary layer go straight to the remedy phase, which consequently
+  needs many more walks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.hhop import _updating_factors, h_hop_forward
+from repro.core.omfwd import omfwd
+from repro.core.params import AccuracyParams, ResAccParams
+from repro.core.remedy import remedy
+from repro.core.result import SSRWRResult
+from repro.graph.hop import hop_structure
+from repro.push.forward import forward_push_loop, init_state, single_push
+
+
+def no_loop_resacc(graph, source, *, params=None, accuracy=None, rng=None,
+                   seed=0):
+    """ResAcc without the accumulating-loop strategy (``No-Loop-ResAcc``)."""
+    params = params or ResAccParams()
+    accuracy = accuracy or AccuracyParams.paper_defaults(graph.n)
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    r_max_f = params.bound_r_max_f(graph)
+    reserve, residue = init_state(graph, source)
+
+    tic = time.perf_counter()
+    hops = hop_structure(graph, source, params.h + 1)
+    can_push = hops.within(params.h)   # includes the source: it re-pushes
+    stats = forward_push_loop(
+        graph, reserve, residue, params.alpha, params.r_max_hop,
+        can_push=can_push, source=source, method=params.push_method,
+    )
+    t_fwd = time.perf_counter() - tic
+
+    tic = time.perf_counter()
+    om_stats = omfwd(graph, reserve, residue, params.alpha, r_max_f,
+                     boundary_nodes=hops.boundary_layer, source=source,
+                     method=params.push_method)
+    t_omfwd = time.perf_counter() - tic
+
+    tic = time.perf_counter()
+    outcome = remedy(graph, residue, params.alpha, accuracy, rng,
+                     source=source)
+    t_remedy = time.perf_counter() - tic
+
+    return SSRWRResult(
+        source=int(source), estimates=reserve + outcome.mass,
+        alpha=params.alpha, algorithm="no-loop-resacc",
+        walks_used=outcome.walks_used,
+        pushes=stats.pushes + om_stats.pushes,
+        phase_seconds={"fwd": t_fwd, "omfwd": t_omfwd, "remedy": t_remedy},
+        extras={"r_sum": outcome.r_sum},
+    )
+
+
+def no_sg_resacc(graph, source, *, params=None, accuracy=None, rng=None,
+                 seed=0):
+    """ResAcc without the h-hop subgraph (``No-SG-ResAcc``).
+
+    The accumulating loop runs over the entire graph: every node except
+    the source pushes under ``r_max_hop``, the closed-form updating phase
+    replays the rounds, then OMFWD drains whatever still satisfies
+    ``r_max_f`` and the remedy phase finishes.
+    """
+    params = params or ResAccParams()
+    accuracy = accuracy or AccuracyParams.paper_defaults(graph.n)
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    r_max_f = params.bound_r_max_f(graph)
+    reserve, residue = init_state(graph, source)
+
+    tic = time.perf_counter()
+    single_push(graph, source, reserve, residue, params.alpha, source=source)
+    can_push = np.ones(graph.n, dtype=bool)
+    can_push[source] = False
+    stats = forward_push_loop(
+        graph, reserve, residue, params.alpha, params.r_max_hop,
+        can_push=can_push, source=source, method=params.push_method,
+    )
+    stats.pushes += 1
+    r1 = float(residue[source])
+    num_rounds, scaler = _updating_factors(graph, source, params.r_max_hop,
+                                           r1)
+    if scaler != 1.0 or num_rounds > 1:
+        reserve *= scaler
+        residue *= scaler
+        residue[source] = r1 ** num_rounds
+    t_acc = time.perf_counter() - tic
+
+    tic = time.perf_counter()
+    om_stats = omfwd(graph, reserve, residue, params.alpha, r_max_f,
+                     source=source, method=params.push_method)
+    t_omfwd = time.perf_counter() - tic
+
+    tic = time.perf_counter()
+    outcome = remedy(graph, residue, params.alpha, accuracy, rng,
+                     source=source)
+    t_remedy = time.perf_counter() - tic
+
+    return SSRWRResult(
+        source=int(source), estimates=reserve + outcome.mass,
+        alpha=params.alpha, algorithm="no-sg-resacc",
+        walks_used=outcome.walks_used,
+        pushes=stats.pushes + om_stats.pushes,
+        phase_seconds={"accumulate": t_acc, "omfwd": t_omfwd,
+                       "remedy": t_remedy},
+        extras={"r1_source": r1, "num_rounds": num_rounds,
+                "r_sum": outcome.r_sum},
+    )
+
+
+def no_ofd_resacc(graph, source, *, params=None, accuracy=None, rng=None,
+                  seed=0):
+    """ResAcc without the OMFWD phase (``No-OFD-ResAcc``)."""
+    params = params or ResAccParams()
+    accuracy = accuracy or AccuracyParams.paper_defaults(graph.n)
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    reserve, residue = init_state(graph, source)
+
+    tic = time.perf_counter()
+    hhop = h_hop_forward(
+        graph, source, params.alpha, params.r_max_hop, params.h,
+        reserve, residue, method=params.push_method,
+    )
+    t_hhop = time.perf_counter() - tic
+
+    tic = time.perf_counter()
+    outcome = remedy(graph, residue, params.alpha, accuracy, rng,
+                     source=source)
+    t_remedy = time.perf_counter() - tic
+
+    return SSRWRResult(
+        source=int(source), estimates=reserve + outcome.mass,
+        alpha=params.alpha, algorithm="no-ofd-resacc",
+        walks_used=outcome.walks_used, pushes=hhop.stats.pushes,
+        phase_seconds={"hhopfwd": t_hhop, "remedy": t_remedy},
+        extras={"r_sum": outcome.r_sum},
+    )
+
+
+def residue_sum_after_push_phases(result):
+    """Convenience accessor for the ``r_sum`` diagnostic of any variant."""
+    return result.extras.get("r_sum", float("nan"))

@@ -1,0 +1,23 @@
+"""Scaled stand-ins for the paper's benchmark datasets."""
+
+from repro.datasets.catalog import (
+    FAST_DATASETS,
+    QUERY_DATASETS,
+    DatasetSpec,
+    bench_h,
+    default_h,
+    load,
+    names,
+    spec,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "FAST_DATASETS",
+    "QUERY_DATASETS",
+    "bench_h",
+    "default_h",
+    "load",
+    "names",
+    "spec",
+]

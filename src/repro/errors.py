@@ -1,0 +1,25 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Input problems are split between graph-shape issues
+(:class:`GraphFormatError`) and algorithm-parameter issues
+(:class:`ParameterError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when graph input data is malformed (bad ids, self-loops, ...)."""
+
+
+class ParameterError(ReproError):
+    """Raised when an algorithm parameter is out of its valid range."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver fails to converge within its budget."""

@@ -1,0 +1,194 @@
+"""Biconnected structure (articulation points, whiskers).
+
+NISE's filter phase detaches *whiskers* -- subgraphs hanging off the
+biconnected core by a single articulation point -- runs seed expansion
+on the core, and reattaches the whiskers in its propagation phase.
+These helpers compute that structure on the *undirected view* of the
+graph (edge direction ignored), via an iterative Hopcroft-Tarjan DFS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _undirected_adjacency(graph):
+    """Symmetrized adjacency as CSR arrays (duplicates removed)."""
+    edges = graph.edge_array()
+    both = np.vstack([edges, edges[:, ::-1]])
+    order = np.lexsort((both[:, 1], both[:, 0]))
+    both = both[order]
+    if both.shape[0]:
+        keep = np.ones(both.shape[0], dtype=bool)
+        keep[1:] = np.any(both[1:] != both[:-1], axis=1)
+        both = both[keep]
+    counts = np.bincount(both[:, 0], minlength=graph.n) if both.size \
+        else np.zeros(graph.n, dtype=np.int64)
+    indptr = np.zeros(graph.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, both[:, 1].copy() if both.size else \
+        np.empty(0, dtype=np.int64)
+
+
+def articulation_points(graph):
+    """Nodes whose removal disconnects their (weak) component.
+
+    Computed on the undirected view with an explicit-stack DFS, so deep
+    graphs never hit the recursion limit.
+    """
+    n = graph.n
+    indptr, indices = _undirected_adjacency(graph)
+    disc = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    is_cut = np.zeros(n, dtype=bool)
+    timer = 0
+    for root in range(n):
+        if disc[root] >= 0:
+            continue
+        root_children = 0
+        stack = [(root, 0)]
+        while stack:
+            node, edge_pos = stack[-1]
+            if edge_pos == 0:
+                disc[node] = low[node] = timer
+                timer += 1
+            advanced = False
+            degree = indptr[node + 1] - indptr[node]
+            while edge_pos < degree:
+                target = int(indices[indptr[node] + edge_pos])
+                edge_pos += 1
+                if disc[target] < 0:
+                    parent[target] = node
+                    if node == root:
+                        root_children += 1
+                    stack[-1] = (node, edge_pos)
+                    stack.append((target, 0))
+                    advanced = True
+                    break
+                if target != parent[node]:
+                    low[node] = min(low[node], disc[target])
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                up = stack[-1][0]
+                low[up] = min(low[up], low[node])
+                if up != root and low[node] >= disc[up]:
+                    is_cut[up] = True
+        if root_children > 1:
+            is_cut[root] = True
+    return np.flatnonzero(is_cut)
+
+
+def bridges(graph):
+    """Undirected bridge edges, as an array of ``(u, v)`` pairs (u < v).
+
+    A tree edge ``(u, v)`` of the DFS is a bridge iff ``low[v] > disc[u]``
+    -- no back edge from ``v``'s subtree climbs above ``u``.
+    """
+    n = graph.n
+    indptr, indices = _undirected_adjacency(graph)
+    disc = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    found = []
+    timer = 0
+    for root in range(n):
+        if disc[root] >= 0:
+            continue
+        stack = [(root, 0, False)]
+        while stack:
+            node, edge_pos, skipped_parent_edge = stack[-1]
+            if edge_pos == 0 and not skipped_parent_edge:
+                disc[node] = low[node] = timer
+                timer += 1
+            advanced = False
+            degree = indptr[node + 1] - indptr[node]
+            while edge_pos < degree:
+                target = int(indices[indptr[node] + edge_pos])
+                edge_pos += 1
+                if disc[target] < 0:
+                    parent[target] = node
+                    stack[-1] = (node, edge_pos, True)
+                    stack.append((target, 0, False))
+                    advanced = True
+                    break
+                if target != parent[node]:
+                    low[node] = min(low[node], disc[target])
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                up = stack[-1][0]
+                low[up] = min(low[up], low[node])
+                if low[node] > disc[up]:
+                    found.append((min(up, node), max(up, node)))
+    if not found:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.array(sorted(set(found)), dtype=np.int64)
+
+
+def whisker_mask(graph):
+    """Boolean mask of *whisker* nodes (the NISE filter definition).
+
+    Remove every bridge from the undirected view; the largest surviving
+    connected piece of each weak component is the core, everything else
+    is whisker.  On the classic "lollipop" (clique + tail) the tail is
+    the whisker and the clique is the core.
+    """
+    n = graph.n
+    mask = np.zeros(n, dtype=bool)
+    if n == 0 or graph.m == 0:
+        return mask
+    bridge_set = set(map(tuple, bridges(graph).tolist()))
+    indptr, indices = _undirected_adjacency(graph)
+    piece = np.full(n, -1, dtype=np.int64)
+    piece_sizes = []
+    for start in range(n):
+        if piece[start] >= 0:
+            continue
+        label = len(piece_sizes)
+        piece[start] = label
+        size = 1
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            begin, end = indptr[node], indptr[node + 1]
+            for target in indices[begin:end]:
+                target = int(target)
+                key = (min(node, target), max(node, target))
+                if key in bridge_set:
+                    continue
+                if piece[target] < 0:
+                    piece[target] = label
+                    size += 1
+                    frontier.append(target)
+        piece_sizes.append(size)
+    # Within each weak component, the largest bridge-free piece is core.
+    from repro.graph.components import weakly_connected_labels
+
+    weak = weakly_connected_labels(graph)
+    best_piece = {}
+    for label, size in enumerate(piece_sizes):
+        members = np.flatnonzero(piece == label)
+        component = int(weak[members[0]])
+        incumbent = best_piece.get(component)
+        if incumbent is None or size > piece_sizes[incumbent]:
+            best_piece[component] = label
+    core_labels = set(best_piece.values())
+    mask = np.array([piece[v] not in core_labels for v in range(n)])
+    return mask
+
+
+def biconnected_core(graph):
+    """``(core_subgraph, mapping)`` with whiskers removed.
+
+    The NISE filter phase: drop whisker nodes, keep everything else
+    (articulation points included).  ``mapping[i]`` gives original ids.
+    """
+    from repro.graph.build import induced_subgraph
+
+    mask = whisker_mask(graph)
+    keep = np.flatnonzero(~mask)
+    return induced_subgraph(graph, keep)

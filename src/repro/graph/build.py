@@ -1,0 +1,120 @@
+"""Constructors for :class:`~repro.graph.csr.CSRGraph`.
+
+All builders normalize their input to a deduplicated, self-loop-free CSR
+adjacency.  The paper treats undirected graphs by materializing each edge in
+both directions (Section II-A); :func:`from_edges` does this when
+``symmetrize=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+
+def from_edges(n, edges, *, symmetrize=False, dangling="absorb",
+               drop_self_loops=True):
+    """Build a graph from an iterable/array of ``(source, target)`` pairs.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; all endpoints must be in ``0 .. n-1``.
+    edges:
+        An ``(m, 2)`` array-like of directed edges.  Duplicates are removed.
+    symmetrize:
+        When true, every edge is also added in the reverse direction
+        (the paper's convention for undirected inputs).
+    dangling:
+        Dangling-node policy to attach to the graph.
+    drop_self_loops:
+        When true (default), edges ``(v, v)`` are silently removed; when
+        false their presence raises :class:`GraphFormatError`.
+    """
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                     dtype=np.int64)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphFormatError(f"edges must be (m, 2) shaped, got {arr.shape}")
+    if arr.size and (arr.min() < 0 or arr.max() >= n):
+        raise GraphFormatError("edge endpoint out of range")
+    if symmetrize and arr.size:
+        arr = np.vstack([arr, arr[:, ::-1]])
+    loops = arr[:, 0] == arr[:, 1]
+    if np.any(loops):
+        if not drop_self_loops:
+            raise GraphFormatError("input contains self-loops")
+        arr = arr[~loops]
+    if arr.shape[0]:
+        # Deduplicate by sorting on (source, target).
+        order = np.lexsort((arr[:, 1], arr[:, 0]))
+        arr = arr[order]
+        keep = np.ones(arr.shape[0], dtype=bool)
+        keep[1:] = np.any(arr[1:] != arr[:-1], axis=1)
+        arr = arr[keep]
+    counts = np.bincount(arr[:, 0], minlength=n) if arr.size else np.zeros(n, np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(n, indptr, arr[:, 1].copy(), dangling=dangling)
+
+
+def from_adjacency(adjacency, *, dangling="absorb"):
+    """Build a graph from a ``{node: [out-neighbours]}``-style mapping or list."""
+    if isinstance(adjacency, dict):
+        n = max(adjacency) + 1 if adjacency else 0
+        rows = [adjacency.get(v, ()) for v in range(n)]
+    else:
+        rows = list(adjacency)
+        n = len(rows)
+    edges = [(v, u) for v, nbrs in enumerate(rows) for u in nbrs]
+    return from_edges(n, edges, dangling=dangling)
+
+
+def from_networkx(nx_graph, *, dangling="absorb"):
+    """Convert a networkx (Di)Graph with integer-convertible node labels.
+
+    Node labels are relabelled to ``0 .. n-1`` in sorted order; the mapping
+    is returned alongside the graph.
+    """
+    nodes = sorted(nx_graph.nodes())
+    label_to_id = {label: i for i, label in enumerate(nodes)}
+    directed = nx_graph.is_directed()
+    edges = [(label_to_id[u], label_to_id[v]) for u, v in nx_graph.edges()]
+    graph = from_edges(
+        len(nodes), edges, symmetrize=not directed, dangling=dangling
+    )
+    return graph, label_to_id
+
+
+def to_networkx(graph):
+    """Convert to a ``networkx.DiGraph`` (imports networkx lazily)."""
+    import networkx as nx
+
+    out = nx.DiGraph()
+    out.add_nodes_from(range(graph.n))
+    out.add_edges_from(graph.edges())
+    return out
+
+
+def induced_subgraph(graph, nodes):
+    """The subgraph induced by ``nodes``.
+
+    Returns ``(subgraph, mapping)`` where ``mapping[i]`` is the original id
+    of subgraph node ``i``.  Matches Definition 5 in the paper.
+    """
+    nodes = np.asarray(sorted(set(int(v) for v in nodes)), dtype=np.int64)
+    if nodes.size and (nodes.min() < 0 or nodes.max() >= graph.n):
+        raise GraphFormatError("subgraph node out of range")
+    old_to_new = -np.ones(graph.n, dtype=np.int64)
+    old_to_new[nodes] = np.arange(nodes.size)
+    edges = []
+    for new_v, old_v in enumerate(nodes):
+        nbrs = graph.out_neighbors(old_v)
+        kept = old_to_new[nbrs]
+        for target in kept[kept >= 0]:
+            edges.append((new_v, int(target)))
+    sub = from_edges(nodes.size, edges, dangling=graph.dangling)
+    return sub, nodes

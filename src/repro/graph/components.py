@@ -1,0 +1,68 @@
+"""Connectivity utilities.
+
+NISE [30] runs its filter phase on the graph's largest connected
+component before seeding; these helpers provide that substrate (weak
+connectivity -- edge direction ignored -- which is the notion the
+community experiments need on symmetrized graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import induced_subgraph
+from repro.graph.hop import expand_ranges
+
+
+def weakly_connected_labels(graph):
+    """Component label per node (labels are 0-based, dense, arbitrary)."""
+    labels = np.full(graph.n, -1, dtype=np.int64)
+    rev_indptr, rev_indices = graph.reverse_adjacency()
+    indptr, indices = graph.indptr, graph.indices
+    out_degrees = graph.out_degrees
+    in_degrees = np.diff(rev_indptr)
+    current = 0
+    for start in range(graph.n):
+        if labels[start] >= 0:
+            continue
+        labels[start] = current
+        frontier = np.array([start], dtype=np.int64)
+        while frontier.size:
+            outs = indices[expand_ranges(indptr[frontier],
+                                         out_degrees[frontier])]
+            ins = rev_indices[expand_ranges(rev_indptr[frontier],
+                                            in_degrees[frontier])]
+            neighbours = np.concatenate([outs, ins])
+            fresh = np.unique(neighbours[labels[neighbours] < 0])
+            labels[fresh] = current
+            frontier = fresh
+        current += 1
+    return labels
+
+
+def weakly_connected_components(graph):
+    """List of node arrays, one per component, largest first."""
+    labels = weakly_connected_labels(graph)
+    count = int(labels.max()) + 1 if graph.n else 0
+    components = [np.flatnonzero(labels == c) for c in range(count)]
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(graph):
+    """``(subgraph, mapping)`` of the largest weakly connected component.
+
+    ``mapping[i]`` is the original id of subgraph node ``i``; see
+    :func:`repro.graph.induced_subgraph`.
+    """
+    components = weakly_connected_components(graph)
+    if not components:
+        return graph, np.empty(0, dtype=np.int64)
+    return induced_subgraph(graph, components[0])
+
+
+def is_weakly_connected(graph):
+    """Whether the whole graph is one weak component."""
+    if graph.n == 0:
+        return True
+    return len(weakly_connected_components(graph)) == 1

@@ -1,0 +1,217 @@
+"""Compressed-sparse-row directed graph.
+
+:class:`CSRGraph` is the single graph representation used throughout the
+library.  It stores the out-adjacency of a directed, unweighted graph in two
+numpy arrays (``indptr`` / ``indices``) and lazily materializes the reverse
+(in-)adjacency on first use.  Node identifiers are dense integers
+``0 .. n-1``.
+
+Following the paper (Section II-A) the graph must have no self-loops; an
+undirected graph is represented by storing each edge in both directions.
+
+Dangling nodes
+--------------
+The paper's benchmark graphs have no zero-out-degree nodes, so the paper
+never specifies what a random walk does at one.  We make the policy explicit
+and attach it to the graph so that *every* algorithm (pushes, walks, power
+iteration, exact solves) agrees:
+
+* ``"absorb"`` (default) -- a walk that reaches a dangling node terminates
+  there; a push at a dangling node converts its whole residue to reserve.
+  This keeps the RWR vector an exact probability distribution.
+* ``"restart"`` -- the walk jumps back to the source node, the convention
+  used by several public FORA implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+DANGLING_POLICIES = ("absorb", "restart")
+
+
+class CSRGraph:
+    """A directed, unweighted graph in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.  Node ids are ``0 .. n-1``.
+    indptr:
+        ``int64`` array of length ``n + 1``; out-neighbours of node ``v``
+        are ``indices[indptr[v]:indptr[v+1]]``.
+    indices:
+        ``int64`` array of length ``m`` (the number of directed edges).
+    dangling:
+        Policy for zero-out-degree nodes, ``"absorb"`` or ``"restart"``.
+    validate:
+        When true (default) the arrays are checked for well-formedness.
+    """
+
+    __slots__ = (
+        "n",
+        "indptr",
+        "indices",
+        "dangling",
+        "_out_degrees",
+        "_rev_indptr",
+        "_rev_indices",
+    )
+
+    def __init__(self, n, indptr, indices, *, dangling="absorb", validate=True):
+        self.n = int(n)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.dangling = dangling
+        self._out_degrees = None
+        self._rev_indptr = None
+        self._rev_indices = None
+        if validate:
+            self._validate()
+
+    def _validate(self):
+        if self.n < 0:
+            raise GraphFormatError(f"negative node count: {self.n}")
+        if self.dangling not in DANGLING_POLICIES:
+            raise GraphFormatError(
+                f"unknown dangling policy {self.dangling!r}; "
+                f"expected one of {DANGLING_POLICIES}"
+            )
+        if self.indptr.shape != (self.n + 1,):
+            raise GraphFormatError(
+                f"indptr has shape {self.indptr.shape}, expected ({self.n + 1},)"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise GraphFormatError("indptr does not span the indices array")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if self.m and (self.indices.min() < 0 or self.indices.max() >= self.n):
+            raise GraphFormatError("edge target out of range")
+        # Self-loop check: a target equal to its own source row.
+        sources = np.repeat(np.arange(self.n), self.out_degrees)
+        if np.any(sources == self.indices):
+            raise GraphFormatError("self-loops are not allowed")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def m(self):
+        """Number of directed edges."""
+        return int(self.indices.shape[0])
+
+    @property
+    def out_degrees(self):
+        """``int64`` array of out-degrees, computed once and cached."""
+        if self._out_degrees is None:
+            self._out_degrees = np.diff(self.indptr)
+        return self._out_degrees
+
+    @property
+    def in_degrees(self):
+        """``int64`` array of in-degrees (materializes reverse adjacency)."""
+        rev_indptr, _ = self.reverse_adjacency()
+        return np.diff(rev_indptr)
+
+    @property
+    def dangling_nodes(self):
+        """Array of nodes with zero out-degree."""
+        return np.flatnonzero(self.out_degrees == 0)
+
+    def out_neighbors(self, v):
+        """Out-neighbours of node ``v`` as an array view."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def in_neighbors(self, v):
+        """In-neighbours of node ``v`` (materializes reverse adjacency)."""
+        rev_indptr, rev_indices = self.reverse_adjacency()
+        return rev_indices[rev_indptr[v] : rev_indptr[v + 1]]
+
+    def out_degree(self, v):
+        """Out-degree of node ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def has_edge(self, u, v):
+        """Whether the directed edge ``(u, v)`` exists."""
+        return bool(np.any(self.out_neighbors(u) == v))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over directed edges as ``(source, target)`` pairs."""
+        for v in range(self.n):
+            for u in self.out_neighbors(v):
+                yield v, int(u)
+
+    def edge_array(self):
+        """All edges as an ``(m, 2)`` array of ``(source, target)`` rows."""
+        sources = np.repeat(np.arange(self.n, dtype=np.int64), self.out_degrees)
+        return np.column_stack([sources, self.indices])
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def reverse_adjacency(self):
+        """CSR arrays of the transposed graph, built lazily and cached."""
+        if self._rev_indptr is None:
+            counts = np.bincount(self.indices, minlength=self.n)
+            rev_indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(counts, out=rev_indptr[1:])
+            rev_indices = np.empty(self.m, dtype=np.int64)
+            cursor = rev_indptr[:-1].copy()
+            sources = np.repeat(np.arange(self.n, dtype=np.int64), self.out_degrees)
+            # Stable counting-sort placement of each edge under its target.
+            order = np.argsort(self.indices, kind="stable")
+            rev_indices[:] = sources[order]
+            del cursor  # placement is fully determined by the stable sort
+            self._rev_indptr = rev_indptr
+            self._rev_indices = rev_indices
+        return self._rev_indptr, self._rev_indices
+
+    def reverse(self):
+        """The transposed graph as a new :class:`CSRGraph`."""
+        rev_indptr, rev_indices = self.reverse_adjacency()
+        return CSRGraph(
+            self.n,
+            rev_indptr.copy(),
+            rev_indices.copy(),
+            dangling=self.dangling,
+            validate=False,
+        )
+
+    def with_dangling(self, policy):
+        """A shallow copy of this graph under a different dangling policy."""
+        if policy not in DANGLING_POLICIES:
+            raise GraphFormatError(f"unknown dangling policy {policy!r}")
+        clone = CSRGraph(
+            self.n, self.indptr, self.indices, dangling=policy, validate=False
+        )
+        clone._out_degrees = self._out_degrees
+        clone._rev_indptr = self._rev_indptr
+        clone._rev_indices = self._rev_indices
+        return clone
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other):
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self):
+        # Identity hash: graphs are large mutable-array holders; callers that
+        # need content hashing should use io.graph_digest.
+        return id(self)
+
+    def __repr__(self):
+        return (
+            f"CSRGraph(n={self.n}, m={self.m}, "
+            f"dangling={self.dangling!r})"
+        )

@@ -1,0 +1,86 @@
+"""Graph mutation helpers for the dynamic-graph experiment (Fig. 23).
+
+Index-free algorithms such as ResAcc pay **zero** cost when the graph
+changes, whereas index-oriented competitors must rebuild (parts of) their
+index.  These helpers produce the post-update graph so the benchmark can
+measure each competitor's rebuild time.
+
+Updates rebuild the CSR arrays; the cost is O(n + m), which is itself far
+cheaper than any of the index rebuilds being measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+
+
+def delete_nodes(graph, nodes, *, relabel=False):
+    """Remove ``nodes`` and all incident edges.
+
+    With ``relabel=False`` (default) the removed ids stay in the graph as
+    isolated nodes, which keeps downstream id-based bookkeeping valid --
+    exactly what the Fig. 23 node-deletion experiment needs.  With
+    ``relabel=True`` the survivors are compacted to ``0 .. n-k-1`` and the
+    id mapping is returned as a second value.
+    """
+    doomed = np.zeros(graph.n, dtype=bool)
+    node_arr = np.asarray(list(nodes), dtype=np.int64)
+    if node_arr.size and (node_arr.min() < 0 or node_arr.max() >= graph.n):
+        raise GraphFormatError("node id out of range")
+    doomed[node_arr] = True
+    edges = graph.edge_array()
+    keep = ~(doomed[edges[:, 0]] | doomed[edges[:, 1]])
+    kept_edges = edges[keep]
+    if not relabel:
+        return from_edges(graph.n, kept_edges, dangling=graph.dangling)
+    survivors = np.flatnonzero(~doomed)
+    old_to_new = -np.ones(graph.n, dtype=np.int64)
+    old_to_new[survivors] = np.arange(survivors.size)
+    remapped = old_to_new[kept_edges]
+    return (
+        from_edges(survivors.size, remapped, dangling=graph.dangling),
+        survivors,
+    )
+
+
+def delete_edges(graph, edges_to_drop):
+    """Remove specific directed edges (missing edges are ignored)."""
+    drop = {(int(u), int(v)) for u, v in edges_to_drop}
+    edges = [edge for edge in graph.edges() if edge not in drop]
+    return from_edges(graph.n, edges, dangling=graph.dangling)
+
+
+def add_edges(graph, new_edges, *, grow=False):
+    """Add directed edges, optionally growing the node count to fit them."""
+    new_arr = np.asarray(list(new_edges), dtype=np.int64).reshape(-1, 2)
+    n = graph.n
+    if new_arr.size:
+        needed = int(new_arr.max()) + 1
+        if needed > n:
+            if not grow:
+                raise GraphFormatError(
+                    f"edge endpoint {needed - 1} exceeds n={n}; pass grow=True"
+                )
+            n = needed
+    combined = np.vstack([graph.edge_array(), new_arr]) if new_arr.size else (
+        graph.edge_array()
+    )
+    return from_edges(n, combined, dangling=graph.dangling)
+
+
+def rewire_random_edges(graph, count, *, seed=0):
+    """Replace ``count`` random edges with fresh uniform edges (churn model)."""
+    rng = np.random.default_rng(seed)
+    edges = graph.edge_array()
+    if edges.shape[0] == 0:
+        return CSRGraph(graph.n, graph.indptr.copy(), graph.indices.copy(),
+                        dangling=graph.dangling, validate=False)
+    count = min(int(count), edges.shape[0])
+    victims = rng.choice(edges.shape[0], size=count, replace=False)
+    edges[victims, 0] = rng.integers(0, graph.n, size=count)
+    edges[victims, 1] = rng.integers(0, graph.n, size=count)
+    return from_edges(graph.n, edges, dangling=graph.dangling)

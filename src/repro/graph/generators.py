@@ -1,0 +1,190 @@
+"""Synthetic graph generators.
+
+Two groups live here:
+
+* **workload generators** used to build scaled stand-ins for the paper's
+  seven benchmark graphs (:func:`preferential_attachment` for the social
+  networks, :func:`directed_power_law` for the web/Twitter crawls,
+  :func:`stochastic_block_model` for the community-detection graphs);
+* **deterministic fixture graphs** (ring, path, star, grid, complete, and
+  the exact graphs from the paper's Figures 1 and 3) used by tests and
+  examples.
+
+All randomized generators take an integer ``seed`` and are deterministic
+for a given (parameters, seed) pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.build import from_edges
+
+
+def erdos_renyi(n, mean_out_degree, *, seed=0, symmetrize=False,
+                dangling="absorb"):
+    """G(n, m)-style random graph with the requested mean out-degree."""
+    _require(n >= 1, f"n must be >= 1, got {n}")
+    _require(mean_out_degree >= 0, "mean_out_degree must be >= 0")
+    rng = np.random.default_rng(seed)
+    num_edges = int(round(n * mean_out_degree))
+    sources = rng.integers(0, n, size=num_edges)
+    targets = rng.integers(0, n, size=num_edges)
+    edges = np.column_stack([sources, targets])
+    return from_edges(n, edges, symmetrize=symmetrize, dangling=dangling)
+
+
+def preferential_attachment(n, edges_per_node, *, seed=0, dangling="absorb"):
+    """Barabasi-Albert preferential attachment, symmetrized.
+
+    Produces the heavy-tailed degree distribution typical of the paper's
+    social-network benchmarks (DBLP, Pokec, LJ, Orkut, Friendster).  The
+    generated undirected edges are stored in both directions, so the mean
+    *directed* out-degree is roughly ``2 * edges_per_node``.
+    """
+    _require(n >= 2, f"n must be >= 2, got {n}")
+    _require(1 <= edges_per_node < n, "edges_per_node must be in [1, n)")
+    rng = np.random.default_rng(seed)
+    m = edges_per_node
+    edges = []
+    # Seed star over the first m + 1 nodes.
+    repeated = []
+    for v in range(1, m + 1):
+        edges.append((v, 0))
+        repeated.extend((v, 0))
+    for v in range(m + 1, n):
+        targets = set()
+        while len(targets) < m:
+            pick = repeated[rng.integers(0, len(repeated))]
+            targets.add(pick)
+        for t in targets:
+            edges.append((v, t))
+            repeated.extend((v, t))
+    return from_edges(n, edges, symmetrize=True, dangling=dangling)
+
+
+def directed_power_law(n, mean_out_degree, *, seed=0, out_exponent=2.0,
+                       in_skew=0.8, dangling="absorb"):
+    """Directed graph with power-law out-degrees and hub-skewed in-degrees.
+
+    A stand-in for crawled graphs such as Web-Stanford and Twitter: node
+    out-degrees follow a (shifted) Pareto law with the requested mean, and
+    edge targets prefer low-id "hub" nodes with probability proportional to
+    ``(rank + 1) ** -in_skew``.
+    """
+    _require(n >= 2, f"n must be >= 2, got {n}")
+    _require(mean_out_degree >= 1, "mean_out_degree must be >= 1")
+    rng = np.random.default_rng(seed)
+    raw = rng.pareto(out_exponent, size=n) + 1.0
+    degrees = np.maximum(
+        1, np.round(raw * (mean_out_degree / raw.mean())).astype(np.int64)
+    )
+    degrees = np.minimum(degrees, max(1, n // 2))
+    total = int(degrees.sum())
+    weights = (np.arange(n, dtype=np.float64) + 1.0) ** (-in_skew)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    targets = np.searchsorted(cdf, rng.random(total))
+    sources = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    edges = np.column_stack([sources, targets])
+    return from_edges(n, edges, dangling=dangling)
+
+
+def stochastic_block_model(block_sizes, p_in, p_out, *, seed=0,
+                           symmetrize=True, dangling="absorb"):
+    """Planted-partition graph for the community-detection experiments."""
+    block_sizes = [int(b) for b in block_sizes]
+    _require(all(b >= 1 for b in block_sizes), "block sizes must be >= 1")
+    _require(0 <= p_out <= p_in <= 1, "need 0 <= p_out <= p_in <= 1")
+    rng = np.random.default_rng(seed)
+    offsets = np.concatenate([[0], np.cumsum(block_sizes)])
+    n = int(offsets[-1])
+    chunks = []
+    for i, size_i in enumerate(block_sizes):
+        for j, size_j in enumerate(block_sizes):
+            prob = p_in if i == j else p_out
+            expected = prob * size_i * size_j
+            count = rng.poisson(expected)
+            if count == 0:
+                continue
+            src = offsets[i] + rng.integers(0, size_i, size=count)
+            dst = offsets[j] + rng.integers(0, size_j, size=count)
+            chunks.append(np.column_stack([src, dst]))
+    edges = np.vstack(chunks) if chunks else np.empty((0, 2), dtype=np.int64)
+    return from_edges(n, edges, symmetrize=symmetrize, dangling=dangling)
+
+
+def block_membership(block_sizes):
+    """Ground-truth community labels matching :func:`stochastic_block_model`."""
+    return np.repeat(np.arange(len(block_sizes)), block_sizes)
+
+
+# ----------------------------------------------------------------------
+# Deterministic fixture graphs
+# ----------------------------------------------------------------------
+def ring(n, *, dangling="absorb"):
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0``."""
+    _require(n >= 2, f"ring needs n >= 2, got {n}")
+    edges = [(v, (v + 1) % n) for v in range(n)]
+    return from_edges(n, edges, dangling=dangling)
+
+
+def path(n, *, dangling="absorb"):
+    """Directed path ``0 -> 1 -> ... -> n-1`` (node n-1 is dangling)."""
+    _require(n >= 1, f"path needs n >= 1, got {n}")
+    edges = [(v, v + 1) for v in range(n - 1)]
+    return from_edges(n, edges, dangling=dangling)
+
+
+def star(n, *, dangling="absorb"):
+    """Bidirectional star: hub 0 connected with every other node."""
+    _require(n >= 2, f"star needs n >= 2, got {n}")
+    edges = [(0, v) for v in range(1, n)]
+    return from_edges(n, edges, symmetrize=True, dangling=dangling)
+
+
+def complete(n, *, dangling="absorb"):
+    """Complete directed graph without self-loops."""
+    _require(n >= 2, f"complete needs n >= 2, got {n}")
+    edges = [(u, v) for u in range(n) for v in range(n) if u != v]
+    return from_edges(n, edges, dangling=dangling)
+
+
+def grid(rows, cols, *, torus=False, dangling="absorb"):
+    """Bidirectional 2-D grid, optionally wrapped into a torus."""
+    _require(rows >= 1 and cols >= 1, "grid needs rows, cols >= 1")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            elif torus and cols > 1:
+                edges.append((v, r * cols))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+            elif torus and rows > 1:
+                edges.append((v, c))
+    return from_edges(rows * cols, edges, symmetrize=True, dangling=dangling)
+
+
+def paper_figure1_graph():
+    """The 4-node graph of Figure 1 (residue-accumulation example).
+
+    Nodes 0..3 stand for v1..v4; edges v1->v2, v1->v3, v2->v4, v3->v2.
+    """
+    return from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 1)])
+
+
+def paper_figure3_graph():
+    """The 3-node cycle of Figure 3 (looping-phenomenon example).
+
+    Nodes 0..2 stand for s, v1, v2; edges s->v1, v1->v2, v2->s.
+    """
+    return from_edges(3, [(0, 1), (1, 2), (2, 0)])
+
+
+def _require(condition, message):
+    if not condition:
+        raise ParameterError(message)

@@ -1,0 +1,100 @@
+"""Graph serialization: edge-list text files and binary ``.npz`` caches.
+
+The text format is the SNAP-style whitespace-separated edge list used by the
+paper's benchmark datasets (one ``source target`` pair per line, ``#``
+comments).  The binary format round-trips the CSR arrays directly and is
+what the dataset catalog uses for caching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import from_edges
+from repro.graph.csr import CSRGraph
+
+_FORMAT_VERSION = 1
+
+
+def read_edge_list(path, *, n=None, symmetrize=False, comments="#",
+                   dangling="absorb"):
+    """Parse a whitespace-separated edge-list file.
+
+    ``n`` defaults to ``max(node id) + 1``.  Lines starting with
+    ``comments`` (after stripping) and blank lines are skipped.
+    """
+    edges = []
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(comments):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'source target', got {stripped!r}"
+                )
+            try:
+                edges.append((int(parts[0]), int(parts[1])))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-integer node id in {stripped!r}"
+                ) from exc
+    if n is None:
+        n = 1 + max((max(u, v) for u, v in edges), default=-1)
+    return from_edges(n, edges, symmetrize=symmetrize, dangling=dangling)
+
+
+def write_edge_list(graph, path, *, header=True):
+    """Write the graph as a ``source target`` text file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            handle.write(f"# directed graph: n={graph.n} m={graph.m}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+    return path
+
+
+def save_npz(graph, path):
+    """Persist the CSR arrays to a compressed ``.npz`` file."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        n=np.int64(graph.n),
+        indptr=graph.indptr,
+        indices=graph.indices,
+        dangling=np.bytes_(graph.dangling.encode()),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_npz(path):
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise GraphFormatError(
+                f"unsupported graph file version {version} in {path}"
+            )
+        return CSRGraph(
+            int(data["n"]),
+            data["indptr"],
+            data["indices"],
+            dangling=bytes(data["dangling"]).decode(),
+        )
+
+
+def graph_digest(graph):
+    """A stable content hash of the adjacency, for cache keys."""
+    hasher = hashlib.sha256()
+    hasher.update(np.int64(graph.n).tobytes())
+    hasher.update(graph.indptr.tobytes())
+    hasher.update(graph.indices.tobytes())
+    return hasher.hexdigest()

@@ -1,0 +1,118 @@
+"""Strongly connected components (iterative Tarjan).
+
+Directed reachability structure matters for RWR: mass that leaves a
+strongly connected component never returns, so the SCC condensation
+explains where probability accumulates (e.g. rank sinks).  The
+implementation is Tarjan's algorithm with an explicit stack, safe for
+graphs far deeper than Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def strongly_connected_labels(graph):
+    """SCC label per node.
+
+    Labels are dense ints; they are assigned in reverse topological
+    order of the condensation (a Tarjan property): if an edge leads from
+    component ``A`` to component ``B != A`` then ``label(A) > label(B)``.
+    """
+    n = graph.n
+    indptr, indices = graph.indptr, graph.indices
+    index = np.full(n, -1, dtype=np.int64)      # visit order
+    low = np.zeros(n, dtype=np.int64)
+    on_stack = np.zeros(n, dtype=bool)
+    labels = np.full(n, -1, dtype=np.int64)
+    stack = []
+    next_index = 0
+    next_label = 0
+
+    for root in range(n):
+        if index[root] >= 0:
+            continue
+        # Each work item: (node, position in its adjacency list).
+        work = [(root, 0)]
+        while work:
+            node, edge_pos = work[-1]
+            if edge_pos == 0:
+                index[node] = low[node] = next_index
+                next_index += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            degree = indptr[node + 1] - indptr[node]
+            while edge_pos < degree:
+                target = indices[indptr[node] + edge_pos]
+                edge_pos += 1
+                if index[target] < 0:
+                    work[-1] = (node, edge_pos)
+                    work.append((int(target), 0))
+                    advanced = True
+                    break
+                if on_stack[target]:
+                    low[node] = min(low[node], index[target])
+            if advanced:
+                continue
+            # All edges explored: close the node.
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    labels[member] = next_label
+                    if member == node:
+                        break
+                next_label += 1
+    return labels
+
+
+def strongly_connected_components(graph):
+    """List of node arrays, one per SCC, largest first."""
+    labels = strongly_connected_labels(graph)
+    count = int(labels.max()) + 1 if graph.n else 0
+    components = [np.flatnonzero(labels == c) for c in range(count)]
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_strongly_connected(graph):
+    """Whether every node reaches every other node."""
+    if graph.n == 0:
+        return True
+    return len(strongly_connected_components(graph)) == 1
+
+
+def condensation_edges(graph):
+    """Directed edges of the SCC condensation as ``(label_u, label_v)``
+    pairs (deduplicated, no self-loops)."""
+    labels = strongly_connected_labels(graph)
+    edges = graph.edge_array()
+    mapped = np.column_stack([labels[edges[:, 0]], labels[edges[:, 1]]])
+    mapped = mapped[mapped[:, 0] != mapped[:, 1]]
+    if mapped.shape[0] == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    order = np.lexsort((mapped[:, 1], mapped[:, 0]))
+    mapped = mapped[order]
+    keep = np.ones(mapped.shape[0], dtype=bool)
+    keep[1:] = np.any(mapped[1:] != mapped[:-1], axis=1)
+    return mapped[keep]
+
+
+def terminal_components(graph):
+    """SCC labels with no outgoing condensation edge.
+
+    Under the ``absorb``-free view of RWR (no dangling nodes), *all*
+    stationary mass of an endless walk would concentrate here; for the
+    terminating walk these components are where `pi` accumulates most.
+    """
+    labels = strongly_connected_labels(graph)
+    count = int(labels.max()) + 1 if graph.n else 0
+    has_exit = np.zeros(count, dtype=bool)
+    for u, v in condensation_edges(graph):
+        has_exit[u] = True
+    return np.flatnonzero(~has_exit)

@@ -1,0 +1,61 @@
+"""Graph sanity checks and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary used by the dataset catalog and bench reports (cf. Table II)."""
+
+    n: int
+    m: int
+    density: float          # m / n, the paper's Table II ratio
+    min_out_degree: int
+    max_out_degree: int
+    mean_out_degree: float
+    num_dangling: int
+
+    def as_row(self):
+        """Values in Table II column order."""
+        return (self.n, self.m, round(self.density, 2))
+
+
+def graph_stats(graph):
+    """Compute :class:`GraphStats` for a graph."""
+    degrees = graph.out_degrees
+    return GraphStats(
+        n=graph.n,
+        m=graph.m,
+        density=graph.m / graph.n if graph.n else 0.0,
+        min_out_degree=int(degrees.min()) if graph.n else 0,
+        max_out_degree=int(degrees.max()) if graph.n else 0,
+        mean_out_degree=float(degrees.mean()) if graph.n else 0.0,
+        num_dangling=int((degrees == 0).sum()),
+    )
+
+
+def check_consistency(graph):
+    """Cross-check the forward and reverse adjacency; raises on mismatch.
+
+    Verifies that every directed edge appears exactly once in each
+    direction-specific structure.  Used by tests and by the npz loader's
+    callers that want a paranoid mode.
+    """
+    rev_indptr, rev_indices = graph.reverse_adjacency()
+    if rev_indices.shape[0] != graph.m:
+        raise GraphFormatError("reverse adjacency edge count mismatch")
+    forward = graph.edge_array()
+    rev_targets = np.repeat(np.arange(graph.n, dtype=np.int64),
+                            np.diff(rev_indptr))
+    backward = np.column_stack([rev_indices, rev_targets])
+    fwd_sorted = forward[np.lexsort((forward[:, 1], forward[:, 0]))]
+    bwd_sorted = backward[np.lexsort((backward[:, 1], backward[:, 0]))]
+    if not np.array_equal(fwd_sorted, bwd_sorted):
+        raise GraphFormatError("forward/reverse adjacency disagree")
+    return True

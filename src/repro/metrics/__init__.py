@@ -1,0 +1,41 @@
+"""Accuracy, ranking, and distribution metrics used by the experiments."""
+
+from repro.metrics.distributions import (
+    BoxplotSummary,
+    ErrorBarSummary,
+    boxplot_summary,
+    error_bar_summary,
+)
+from repro.metrics.errors import (
+    DEFAULT_K_GRID,
+    abs_error_at_kth,
+    guarantee_satisfied,
+    guarantee_violation_rate,
+    max_abs_error,
+    max_relative_error,
+    mean_abs_error,
+)
+from repro.metrics.ranking import (
+    dcg,
+    kendall_tau_top_k,
+    ndcg_at_k,
+    precision_at_k,
+)
+
+__all__ = [
+    "BoxplotSummary",
+    "DEFAULT_K_GRID",
+    "ErrorBarSummary",
+    "abs_error_at_kth",
+    "boxplot_summary",
+    "dcg",
+    "error_bar_summary",
+    "guarantee_satisfied",
+    "guarantee_violation_rate",
+    "kendall_tau_top_k",
+    "max_abs_error",
+    "max_relative_error",
+    "mean_abs_error",
+    "ndcg_at_k",
+    "precision_at_k",
+]

@@ -1,0 +1,68 @@
+"""Distribution summaries for the outlier analysis (Figures 7-10).
+
+The paper plots per-query-node performance two ways: "boxplot" (min, Q1,
+median, Q3, max) and "error-bar" (mean +/- standard deviation).  These
+helpers compute both summaries from a list of per-query measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary, as drawn by the paper's boxplots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self):
+        return self.q3 - self.q1
+
+    def as_row(self):
+        return (self.minimum, self.q1, self.median, self.q3, self.maximum)
+
+
+@dataclass(frozen=True)
+class ErrorBarSummary:
+    """Mean and standard deviation, as drawn by the error-bar plots."""
+
+    mean: float
+    std: float
+
+    def as_row(self):
+        return (self.mean, self.std)
+
+
+def boxplot_summary(values):
+    """Five-number summary of a non-empty sample."""
+    arr = _as_sample(values)
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    return BoxplotSummary(
+        minimum=float(arr.min()), q1=float(q1), median=float(median),
+        q3=float(q3), maximum=float(arr.max()),
+    )
+
+
+def error_bar_summary(values):
+    """Mean/std summary of a non-empty sample (population std, ddof=0)."""
+    arr = _as_sample(values)
+    return ErrorBarSummary(mean=float(arr.mean()), std=float(arr.std()))
+
+
+def _as_sample(values):
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ParameterError("cannot summarize an empty sample")
+    if not np.all(np.isfinite(arr)):
+        raise ParameterError("sample contains non-finite values")
+    return arr

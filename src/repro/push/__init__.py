@@ -1,0 +1,19 @@
+"""Local-update push kernels shared by ResAcc and the baselines."""
+
+from repro.push.backward import backward_push
+from repro.push.forward import (
+    PushStats,
+    forward_push_loop,
+    init_state,
+    push_thresholds,
+    single_push,
+)
+
+__all__ = [
+    "PushStats",
+    "backward_push",
+    "forward_push_loop",
+    "init_state",
+    "push_thresholds",
+    "single_push",
+]

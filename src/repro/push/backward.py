@@ -1,0 +1,84 @@
+"""Backward push (Andersen et al. [1]), used by BiPPR and TopPPR.
+
+For a fixed *target* ``t``, backward push maintains per-node reserves
+``p(v)`` and residues ``r(v)`` such that for every source ``s``
+
+    pi(s, t) = p(s) + sum_v r(v) * pi(s, v).
+
+A backward push at ``v`` converts ``alpha * r(v)`` to reserve and sends
+``(1 - alpha) * r(v) / d_out(u)`` to every in-neighbour ``u`` of ``v``.
+A node is eligible while ``r(v) >= r_max_b`` (no degree scaling, following
+[17]).
+
+Dangling target
+---------------
+Under the ``"absorb"`` policy a walk terminates at a dangling node with
+probability 1 rather than ``alpha``, so when ``t`` itself is dangling the
+push at ``t`` uses the identity
+``pi(s, t) = [s == t] + sum_{u in N_in(t)} (1 - alpha) / (alpha d_out(u)) * pi(s, u)``:
+the reserve gains the full residue and in-neighbour residues are scaled by
+``1 / alpha``.  No other dangling node can ever hold backward residue
+(residue only reaches in-neighbours, which have out-degree >= 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.push.forward import PushStats
+
+
+def backward_push(graph, target, alpha, r_max_b, *, max_pushes=None):
+    """Run backward push from ``target``; returns (reserve, residue, stats)."""
+    if not 0.0 < alpha < 1.0:
+        raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+    if r_max_b <= 0.0:
+        raise ParameterError(f"r_max_b must be positive, got {r_max_b}")
+    if not 0 <= target < graph.n:
+        raise ParameterError(f"target {target} out of range")
+    if graph.dangling == "restart" and graph.dangling_nodes.size:
+        raise ParameterError(
+            "backward push requires the 'absorb' dangling policy: under "
+            "'restart' the walk distribution depends on the source, which "
+            "a target-side traversal cannot capture"
+        )
+    rev_indptr, rev_indices = graph.reverse_adjacency()
+    out_degrees = graph.out_degrees
+    reserve = np.zeros(graph.n, dtype=np.float64)
+    residue = np.zeros(graph.n, dtype=np.float64)
+    residue[target] = 1.0
+    stats = PushStats()
+    in_queue = np.zeros(graph.n, dtype=bool)
+    queue = deque([int(target)])
+    in_queue[target] = True
+    target_dangling = (
+        out_degrees[target] == 0 and graph.dangling == "absorb"
+    )
+    while queue:
+        v = queue.popleft()
+        in_queue[v] = False
+        r = residue[v]
+        if r < r_max_b:
+            continue
+        if max_pushes is not None and stats.pushes >= max_pushes:
+            break
+        stats.pushes += 1
+        residue[v] = 0.0
+        special = target_dangling and v == target
+        reserve[v] += r if special else alpha * r
+        in_nbrs = rev_indices[rev_indptr[v]: rev_indptr[v + 1]]
+        if in_nbrs.size == 0:
+            continue
+        scale = (1.0 - alpha) * r
+        if special:
+            scale /= alpha
+        residue[in_nbrs] += scale / out_degrees[in_nbrs]
+        hot = in_nbrs[(residue[in_nbrs] >= r_max_b) & ~in_queue[in_nbrs]]
+        for u in hot.tolist():
+            queue.append(u)
+        in_queue[hot] = True
+    stats.rounds = 1
+    return reserve, residue, stats

@@ -1,0 +1,304 @@
+"""Forward push kernels (Definition 6/7 and Algorithm 1 of the paper).
+
+A forward push at node ``t`` moves ``alpha * r`` of its residue into its
+reserve and spreads the remaining ``(1 - alpha) * r`` uniformly over its
+out-neighbours.  Repeating pushes while any node satisfies the *push
+condition* ``residue(t) / d_out(t) >= r_max`` yields reserves/residues
+satisfying the invariant (Equation 2)
+
+    pi(s, t) = reserve(t) + sum_v residue(v) * pi(v, t).
+
+Two scheduling strategies are provided:
+
+* ``"queue"`` -- the paper's FIFO formulation (Algorithms 1 and 4);
+* ``"frontier"`` -- all currently-eligible nodes push simultaneously in one
+  vectorized round (a Jacobi-style sweep).  Both terminate at a state where
+  no eligible node satisfies the push condition, and both preserve the
+  invariant exactly; they may differ in which valid fixpoint they reach.
+
+Dangling nodes honour the graph's policy: ``"absorb"`` converts the whole
+residue to reserve (the walk dies there), ``"restart"`` returns
+``(1 - alpha) * r`` to the source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ParameterError
+from repro.graph.hop import expand_ranges
+
+
+@dataclass
+class PushStats:
+    """Work counters for a push run."""
+
+    pushes: int = 0
+    rounds: int = 0
+
+    def merge(self, other):
+        """Accumulate another run's counters into this one."""
+        self.pushes += other.pushes
+        self.rounds += other.rounds
+        return self
+
+
+def push_thresholds(graph, r_max):
+    """Per-node residue threshold implementing the push condition.
+
+    Node ``t`` is eligible when ``residue(t) >= thresholds[t]``.  Dangling
+    nodes use ``r_max`` directly (the division by out-degree is undefined).
+    """
+    degrees = graph.out_degrees
+    return r_max * np.where(degrees > 0, degrees, 1).astype(np.float64)
+
+
+def init_state(graph, source):
+    """Fresh (reserve, residue) vectors with unit residue at the source."""
+    reserve = np.zeros(graph.n, dtype=np.float64)
+    residue = np.zeros(graph.n, dtype=np.float64)
+    residue[source] = 1.0
+    return reserve, residue
+
+
+def single_push(graph, node, reserve, residue, alpha, *, source=None):
+    """One unconditional forward push at ``node`` (in place)."""
+    r = residue[node]
+    if r == 0.0:
+        return
+    residue[node] = 0.0
+    degree = graph.out_degree(node)
+    if degree == 0:
+        _push_dangling(graph, node, r, reserve, residue, alpha, source)
+        return
+    reserve[node] += alpha * r
+    nbrs = graph.out_neighbors(node)
+    residue[nbrs] += (1.0 - alpha) * r / degree
+
+
+def forward_push_loop(graph, reserve, residue, alpha, r_max, *,
+                      can_push=None, source=None, seeds=None,
+                      method="frontier", max_pushes=None):
+    """Push until no eligible node satisfies the push condition.
+
+    Parameters
+    ----------
+    reserve, residue:
+        State vectors updated in place.
+    can_push:
+        Optional boolean mask; nodes outside it only accumulate residue
+        (used by h-HopFWD to freeze the source and the ``(h+1)``-hop layer).
+    source:
+        Required when the graph uses the ``"restart"`` dangling policy.
+    seeds:
+        Initial worklist for the queue method, in order (Algorithm 4
+        enqueues the ``(h+1)``-layer by decreasing residue).  Ignored by the
+        frontier method, which always scans for eligible nodes.
+    method:
+        ``"frontier"`` (vectorized rounds), ``"queue"`` (FIFO), or
+        ``"priority"`` (Gauss-Southwell: always push the node with the
+        largest residue-to-threshold ratio -- fewest pushes, most
+        per-push overhead).
+    max_pushes:
+        Safety budget; exceeding it raises :class:`ConvergenceError`.
+
+    Returns :class:`PushStats`.
+    """
+    _check_common(graph, alpha, r_max, source)
+    if method == "frontier":
+        return _frontier_loop(graph, reserve, residue, alpha, r_max,
+                              can_push, source, max_pushes)
+    if method == "queue":
+        return _queue_loop(graph, reserve, residue, alpha, r_max,
+                           can_push, source, seeds, max_pushes)
+    if method == "priority":
+        return _priority_loop(graph, reserve, residue, alpha, r_max,
+                              can_push, source, max_pushes)
+    raise ParameterError(f"unknown push method {method!r}")
+
+
+def _check_common(graph, alpha, r_max, source):
+    if not 0.0 < alpha < 1.0:
+        raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
+    if r_max <= 0.0:
+        raise ParameterError(f"r_max must be positive, got {r_max}")
+    if graph.dangling == "restart" and source is None:
+        raise ParameterError(
+            "the 'restart' dangling policy requires a source node"
+        )
+
+
+def _push_dangling(graph, node, r, reserve, residue, alpha, source):
+    if graph.dangling == "absorb":
+        reserve[node] += r
+    else:
+        reserve[node] += alpha * r
+        residue[source] += (1.0 - alpha) * r
+
+
+def _frontier_loop(graph, reserve, residue, alpha, r_max, can_push, source,
+                   max_pushes):
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.out_degrees
+    thresholds = push_thresholds(graph, r_max)
+    stats = PushStats()
+    restart = graph.dangling == "restart"
+    while True:
+        eligible = residue >= thresholds
+        if can_push is not None:
+            eligible &= can_push
+        active = np.flatnonzero(eligible)
+        if active.size == 0:
+            return stats
+        stats.rounds += 1
+        stats.pushes += int(active.size)
+        if max_pushes is not None and stats.pushes > max_pushes:
+            raise ConvergenceError(
+                f"forward push exceeded budget of {max_pushes} pushes"
+            )
+        pushed = residue[active].copy()
+        residue[active] = 0.0
+        deg_active = degrees[active]
+        dangling = deg_active == 0
+        spread_nodes = active[~dangling]
+        spread_mass = pushed[~dangling]
+        reserve[spread_nodes] += alpha * spread_mass
+        if dangling.any():
+            dang_nodes = active[dangling]
+            dang_mass = pushed[dangling]
+            if restart:
+                reserve[dang_nodes] += alpha * dang_mass
+                residue[source] += (1.0 - alpha) * float(dang_mass.sum())
+            else:
+                reserve[dang_nodes] += dang_mass
+        if spread_nodes.size:
+            counts = degrees[spread_nodes]
+            positions = expand_ranges(indptr[spread_nodes], counts)
+            targets = indices[positions]
+            weights = np.repeat((1.0 - alpha) * spread_mass / counts, counts)
+            residue += np.bincount(targets, weights=weights, minlength=graph.n)
+
+
+def _priority_loop(graph, reserve, residue, alpha, r_max, can_push, source,
+                   max_pushes):
+    """Gauss-Southwell scheduling: largest residue/threshold ratio first.
+
+    Uses a lazy-deletion heap: every residue increase pushes a fresh
+    entry; stale entries are skipped on pop by re-checking the condition.
+    """
+    import heapq
+
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.out_degrees
+    thresholds = push_thresholds(graph, r_max)
+    stats = PushStats()
+    restart = graph.dangling == "restart"
+
+    def allowed(v):
+        return can_push is None or can_push[v]
+
+    heap = []
+    initial = residue >= thresholds
+    if can_push is not None:
+        initial &= can_push
+    for v in np.flatnonzero(initial):
+        heapq.heappush(heap, (-residue[v] / thresholds[v], int(v)))
+
+    while heap:
+        _, t = heapq.heappop(heap)
+        r = residue[t]
+        if r < thresholds[t]:
+            continue  # stale entry (already pushed since it was queued)
+        stats.pushes += 1
+        if max_pushes is not None and stats.pushes > max_pushes:
+            raise ConvergenceError(
+                f"forward push exceeded budget of {max_pushes} pushes"
+            )
+        residue[t] = 0.0
+        degree = degrees[t]
+        if degree == 0:
+            if restart:
+                reserve[t] += alpha * r
+                residue[source] += (1.0 - alpha) * r
+                s = int(source)
+                if residue[s] >= thresholds[s] and allowed(s):
+                    heapq.heappush(heap,
+                                   (-residue[s] / thresholds[s], s))
+            else:
+                reserve[t] += r
+            continue
+        reserve[t] += alpha * r
+        nbrs = indices[indptr[t]: indptr[t] + degree]
+        residue[nbrs] += (1.0 - alpha) * r / degree
+        hot = nbrs[residue[nbrs] >= thresholds[nbrs]]
+        if can_push is not None:
+            hot = hot[can_push[hot]]
+        for u in hot.tolist():
+            heapq.heappush(heap, (-residue[u] / thresholds[u], u))
+    stats.rounds = 1
+    return stats
+
+
+def _queue_loop(graph, reserve, residue, alpha, r_max, can_push, source,
+                seeds, max_pushes):
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.out_degrees
+    thresholds = push_thresholds(graph, r_max)
+    stats = PushStats()
+    restart = graph.dangling == "restart"
+    in_queue = np.zeros(graph.n, dtype=bool)
+    queue = deque()
+
+    def allowed(v):
+        return can_push is None or can_push[v]
+
+    if seeds is None:
+        eligible = residue >= thresholds
+        if can_push is not None:
+            eligible &= can_push
+        seeds = np.flatnonzero(eligible)
+    for v in np.asarray(seeds, dtype=np.int64):
+        v = int(v)
+        if allowed(v) and not in_queue[v]:
+            queue.append(v)
+            in_queue[v] = True
+
+    while queue:
+        t = queue.popleft()
+        in_queue[t] = False
+        r = residue[t]
+        if r < thresholds[t]:
+            continue
+        stats.pushes += 1
+        if max_pushes is not None and stats.pushes > max_pushes:
+            raise ConvergenceError(
+                f"forward push exceeded budget of {max_pushes} pushes"
+            )
+        residue[t] = 0.0
+        degree = degrees[t]
+        if degree == 0:
+            if restart:
+                reserve[t] += alpha * r
+                residue[source] += (1.0 - alpha) * r
+                s = int(source)
+                if (residue[s] >= thresholds[s] and allowed(s)
+                        and not in_queue[s]):
+                    queue.append(s)
+                    in_queue[s] = True
+            else:
+                reserve[t] += r
+            continue
+        reserve[t] += alpha * r
+        nbrs = indices[indptr[t]: indptr[t] + degree]
+        residue[nbrs] += (1.0 - alpha) * r / degree
+        hot = nbrs[(residue[nbrs] >= thresholds[nbrs]) & ~in_queue[nbrs]]
+        if can_push is not None:
+            hot = hot[can_push[hot]]
+        for u in hot.tolist():
+            queue.append(u)
+        in_queue[hot] = True
+    stats.rounds = 1
+    return stats

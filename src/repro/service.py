@@ -1,0 +1,168 @@
+"""A query-service facade: caching, updates, and service statistics.
+
+The paper motivates SSRWR with online services (recommendation, friend
+suggestion) where queries repeat for hot sources and the graph changes
+continuously.  :class:`QueryEngine` packages the library for that usage:
+
+* answers are cached per source (LRU) and served in microseconds on a
+  hit;
+* graph mutations go through an internal :class:`GraphBuilder`; any
+  mutation invalidates the cache -- correct by construction, and cheap
+  because the solver is index-free (the "index" that would need
+  maintenance simply does not exist);
+* hit/miss/update counters expose the service's behaviour.
+
+The engine is deliberately synchronous and single-threaded: it is a
+reference implementation of the *policy* (cache + invalidate on write),
+not an attempt at a server.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.params import AccuracyParams
+from repro.core.resacc import resacc
+from repro.errors import ParameterError
+from repro.graph.builder import GraphBuilder
+
+
+@dataclass
+class ServiceStats:
+    """Counters exposed by :class:`QueryEngine`."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    updates: int = 0
+    invalidations: int = 0
+    solver_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def hit_rate(self):
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+class QueryEngine:
+    """Cached, update-aware SSRWR query service.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph (copied into an internal builder; later mutations
+        do not affect the caller's object).
+    solver:
+        ``(graph, source) -> SSRWRResult``; defaults to ResAcc at the
+        paper's accuracy for the current graph size.
+    cache_size:
+        Maximum number of per-source results kept (LRU eviction).
+    """
+
+    def __init__(self, graph, *, solver=None, accuracy=None,
+                 cache_size=256, seed=0):
+        if cache_size < 0:
+            raise ParameterError(f"cache_size must be >= 0, got {cache_size}")
+        self._builder = GraphBuilder(graph=graph)
+        self._graph = self._builder.build()
+        self._accuracy = accuracy
+        self._seed = seed
+        self._solver = solver or self._default_solver
+        self._cache_size = int(cache_size)
+        self._cache = OrderedDict()
+        self.stats = ServiceStats()
+
+    def _default_solver(self, graph, source):
+        accuracy = self._accuracy or AccuracyParams.paper_defaults(graph.n)
+        return resacc(graph, source, accuracy=accuracy,
+                      seed=self._seed + source)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The current graph snapshot (rebuilt after mutations)."""
+        if self._graph is None:
+            self._graph = self._builder.build()
+        return self._graph
+
+    def query(self, source):
+        """SSRWR result for ``source`` (cached)."""
+        source = int(source)
+        if not 0 <= source < self.graph.n:
+            raise ParameterError(
+                f"source {source} out of range for n={self.graph.n}"
+            )
+        self.stats.queries += 1
+        if source in self._cache:
+            self.stats.cache_hits += 1
+            self._cache.move_to_end(source)
+            return self._cache[source]
+        self.stats.cache_misses += 1
+        tic = time.perf_counter()
+        result = self._solver(self.graph, source)
+        self.stats.solver_seconds += time.perf_counter() - tic
+        if self._cache_size:
+            self._cache[source] = result
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return result
+
+    def top_k(self, source, k):
+        """``(nodes, values)`` of the top-k estimates for ``source``."""
+        return self.query(source).top_k(k)
+
+    def recommend(self, source, k, *, exclude_neighbors=True):
+        """Top-k nodes excluding the source (and optionally its
+        out-neighbours) -- the friend-suggestion pattern."""
+        result = self.query(source)
+        banned = {source}
+        if exclude_neighbors:
+            banned.update(int(v) for v in
+                          self.graph.out_neighbors(source))
+        nodes, values = result.top_k(k + len(banned))
+        picks = [(int(n), float(v)) for n, v in zip(nodes, values)
+                 if int(n) not in banned]
+        return picks[:k]
+
+    # ------------------------------------------------------------------
+    # Updates (all invalidate the cache)
+    # ------------------------------------------------------------------
+    def add_edge(self, u, v, *, undirected=False):
+        """Insert an edge; returns whether the graph changed."""
+        if undirected:
+            changed = self._builder.add_undirected_edge(u, v, grow=True)
+        else:
+            changed = self._builder.add_edge(u, v, grow=True)
+        if changed:
+            self._note_update()
+        return changed
+
+    def remove_edge(self, u, v):
+        """Remove a directed edge; returns whether it existed."""
+        changed = self._builder.remove_edge(u, v)
+        if changed:
+            self._note_update()
+        return changed
+
+    def remove_node(self, v):
+        """Detach a node (its id remains valid); returns edges removed."""
+        removed = self._builder.remove_node_edges(v)
+        if removed:
+            self._note_update()
+        return removed
+
+    def _note_update(self):
+        self.stats.updates += 1
+        if self._cache:
+            self.stats.invalidations += len(self._cache)
+            self._cache.clear()
+        self._graph = None  # rebuilt lazily on next query
+
+    def __repr__(self):
+        return (f"QueryEngine(n={self.graph.n}, m={self.graph.m}, "
+                f"cached={len(self._cache)}, "
+                f"hit_rate={self.stats.hit_rate:.2f})")

@@ -1,0 +1,21 @@
+"""Vectorized random-walk simulation engine."""
+
+from repro.walks.engine import (
+    MAX_WALK_STEPS,
+    residue_weighted_walks,
+    sample_walk_endpoints,
+    sample_walk_endpoints_batch,
+    walk_terminal_mass,
+    walk_visit_mass,
+    walks_from_single_source,
+)
+
+__all__ = [
+    "MAX_WALK_STEPS",
+    "residue_weighted_walks",
+    "sample_walk_endpoints",
+    "sample_walk_endpoints_batch",
+    "walk_terminal_mass",
+    "walk_visit_mass",
+    "walks_from_single_source",
+]

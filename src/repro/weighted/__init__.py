@@ -1,0 +1,30 @@
+"""Edge-weighted RWR: an extension beyond the paper's unweighted setting."""
+
+from repro.weighted.graph import (
+    WeightedCSRGraph,
+    from_weighted_edges,
+    uniform_weights,
+)
+from repro.weighted.push import weighted_forward_push, weighted_init_state
+from repro.weighted.solver import (
+    weighted_personalized_pagerank,
+    weighted_power_iteration,
+    weighted_ssrwr,
+)
+from repro.weighted.walks import (
+    weighted_residue_walks,
+    weighted_walk_terminal_mass,
+)
+
+__all__ = [
+    "WeightedCSRGraph",
+    "from_weighted_edges",
+    "uniform_weights",
+    "weighted_forward_push",
+    "weighted_init_state",
+    "weighted_personalized_pagerank",
+    "weighted_power_iteration",
+    "weighted_residue_walks",
+    "weighted_ssrwr",
+    "weighted_walk_terminal_mass",
+]

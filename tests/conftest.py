@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.inverse import ExactSolver
+from repro.graph import from_edges, generators
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph():
+    """A 6-node graph with a cycle, a branch and a dangling node."""
+    edges = [
+        (0, 1), (1, 2), (2, 0),      # 3-cycle through the source
+        (1, 3), (3, 4),              # branch
+        (2, 4), (4, 5),              # node 5 is dangling
+    ]
+    return from_edges(6, edges)
+
+
+@pytest.fixture
+def ba_graph():
+    """A 300-node preferential-attachment graph (symmetric)."""
+    return generators.preferential_attachment(300, 3, seed=7)
+
+
+@pytest.fixture
+def web_graph():
+    """A 250-node directed power-law graph (contains dangling nodes)."""
+    return generators.directed_power_law(250, 5, seed=11)
+
+
+@pytest.fixture
+def exact(ba_graph):
+    return ExactSolver(ba_graph, alpha=0.2)
+
+
+def random_graph(seed, n=None, density=None):
+    """Deterministic random graph helper for property tests."""
+    gen = np.random.default_rng(seed)
+    n = n if n is not None else int(gen.integers(2, 60))
+    density = density if density is not None else float(gen.uniform(0.5, 4))
+    num_edges = int(n * density)
+    edges = np.column_stack([
+        gen.integers(0, n, size=num_edges),
+        gen.integers(0, n, size=num_edges),
+    ])
+    return from_edges(n, edges)

@@ -1,0 +1,85 @@
+"""API-surface quality gates.
+
+* every public item reachable from the package's ``__all__`` chains has
+  a docstring;
+* ``__all__`` lists are sorted and truthful (every name resolves);
+* the top-level package re-exports what the README promises.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.bench",
+    "repro.community",
+    "repro.core",
+    "repro.datasets",
+    "repro.graph",
+    "repro.metrics",
+    "repro.push",
+    "repro.walks",
+    "repro.weighted",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_entries_resolve_and_are_documented(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+    exported = getattr(module, "__all__", None)
+    assert exported is not None, f"{module_name} lacks __all__"
+    for name in exported:
+        obj = getattr(module, name, None)
+        assert obj is not None, f"{module_name}.{name} does not resolve"
+        if inspect.ismodule(obj):
+            continue
+        assert getattr(obj, "__doc__", None), \
+            f"{module_name}.{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_lists_sorted(module_name):
+    module = importlib.import_module(module_name)
+    exported = list(module.__all__)
+    assert exported == sorted(exported), \
+        f"{module_name}.__all__ is not sorted"
+
+
+def test_public_classes_document_their_methods():
+    from repro.baselines import (
+        BePIIndex,
+        BLinIndex,
+        ForaPlusIndex,
+        HubPPRIndex,
+        QRIndex,
+        TPAIndex,
+    )
+    from repro.service import QueryEngine
+
+    for cls in (BePIIndex, BLinIndex, ForaPlusIndex, HubPPRIndex,
+                QRIndex, TPAIndex, QueryEngine):
+        for name, member in inspect.getmembers(cls):
+            if name.startswith("_") or not callable(member):
+                continue
+            assert member.__doc__, f"{cls.__name__}.{name} lacks a docstring"
+
+
+def test_readme_promises_importables():
+    import repro
+
+    for name in ("resacc", "msrwr", "AccuracyParams", "ResAccParams",
+                 "SSRWRResult", "QueryEngine", "datasets", "from_edges"):
+        assert hasattr(repro, name)
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)

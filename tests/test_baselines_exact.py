@@ -1,0 +1,118 @@
+"""Tests for the deterministic solvers: Power, Inverse, Forward Search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ExactSolver,
+    exact_rwr,
+    forward_search,
+    power_iteration,
+    transition_matrix,
+)
+from repro.errors import ConvergenceError, ParameterError
+from repro.graph import from_edges, generators
+
+ALPHA = 0.2
+
+
+class TestPowerIteration:
+    def test_sums_to_one(self, ba_graph):
+        result = power_iteration(ba_graph, 0, alpha=ALPHA, tol=1e-12)
+        assert result.estimates.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_analytic_two_cycle(self):
+        """s <-> v: pi(s,s) = alpha / (1 - (1-alpha)^2)."""
+        g = from_edges(2, [(0, 1)], symmetrize=True)
+        result = power_iteration(g, 0, alpha=ALPHA, tol=1e-14)
+        beta = 1 - ALPHA
+        expected_s = ALPHA / (1 - beta ** 2)
+        assert result.estimates[0] == pytest.approx(expected_s, abs=1e-10)
+        assert result.estimates[1] == pytest.approx(beta * expected_s,
+                                                    abs=1e-10)
+
+    def test_path_distribution(self):
+        """On a directed path, pi(k) = (1-a)^k * a except the absorbing tail."""
+        g = generators.path(4)
+        result = power_iteration(g, 0, alpha=ALPHA, tol=1e-14)
+        beta = 1 - ALPHA
+        for k in range(3):
+            assert result.estimates[k] == pytest.approx(
+                ALPHA * beta ** k, abs=1e-10)
+        assert result.estimates[3] == pytest.approx(beta ** 3, abs=1e-10)
+
+    def test_restart_policy(self):
+        g = generators.path(3).with_dangling("restart")
+        result = power_iteration(g, 0, alpha=ALPHA, tol=1e-12)
+        assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+        # Mass recycles through the source, so pi(0) is boosted.
+        absorb = power_iteration(generators.path(3), 0, alpha=ALPHA,
+                                 tol=1e-12)
+        assert result.estimates[0] > absorb.estimates[0]
+
+    def test_iteration_budget(self, ba_graph):
+        with pytest.raises(ConvergenceError):
+            power_iteration(ba_graph, 0, alpha=ALPHA, tol=1e-12, max_iters=2)
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            power_iteration(ba_graph, -1)
+        with pytest.raises(ParameterError):
+            power_iteration(ba_graph, 0, alpha=2.0)
+        with pytest.raises(ParameterError):
+            power_iteration(ba_graph, 0, tol=0.0)
+
+
+class TestExactSolver:
+    def test_matches_power(self, ba_graph):
+        solver = ExactSolver(ba_graph, ALPHA)
+        for source in (0, 13, 77):
+            direct = solver.query(source).estimates
+            iterated = power_iteration(ba_graph, source, alpha=ALPHA,
+                                       tol=1e-13).estimates
+            assert np.max(np.abs(direct - iterated)) < 1e-10
+
+    def test_matches_power_with_dangling(self, web_graph):
+        g = from_edges(5, [(0, 1), (1, 2), (2, 0), (1, 3)])  # 3,4 dangling
+        solver = ExactSolver(g, ALPHA)
+        direct = solver.query(0).estimates
+        iterated = power_iteration(g, 0, alpha=ALPHA, tol=1e-13).estimates
+        assert np.max(np.abs(direct - iterated)) < 1e-10
+
+    def test_one_shot_helper(self, tiny_graph):
+        result = exact_rwr(tiny_graph, 0, ALPHA)
+        assert result.algorithm == "inverse"
+        assert result.estimates.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_restart_policy_rejected(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            ExactSolver(tiny_graph.with_dangling("restart"), ALPHA)
+
+    def test_transition_matrix_rows(self, tiny_graph):
+        p = transition_matrix(tiny_graph)
+        sums = np.asarray(p.sum(axis=1)).ravel()
+        degrees = tiny_graph.out_degrees
+        assert np.allclose(sums[degrees > 0], 1.0)
+        assert np.allclose(sums[degrees == 0], 0.0)
+
+
+class TestForwardSearch:
+    def test_underestimates_by_residue_sum(self, ba_graph):
+        result = forward_search(ba_graph, 0, alpha=ALPHA, r_max=1e-5)
+        deficit = 1.0 - result.estimates.sum()
+        assert deficit == pytest.approx(result.extras["r_sum"], abs=1e-10)
+
+    def test_tighter_threshold_more_accurate(self, ba_graph, exact):
+        truth = exact.query(0).estimates
+        loose = forward_search(ba_graph, 0, r_max=1e-3).estimates
+        tight = forward_search(ba_graph, 0, r_max=1e-8).estimates
+        assert np.abs(tight - truth).max() < np.abs(loose - truth).max()
+
+    def test_converges_to_truth(self, ba_graph, exact):
+        truth = exact.query(4).estimates
+        result = forward_search(ba_graph, 4, r_max=1e-11)
+        assert np.abs(result.estimates - truth).max() < 1e-7
+
+    def test_source_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            forward_search(ba_graph, 10_000)

@@ -1,0 +1,151 @@
+"""Tests for the index-oriented baselines (TPA, BePI) and TopPPR/Backward."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BePIIndex,
+    TPAIndex,
+    backward_contributions,
+    ssrwr_via_backward,
+    topppr,
+)
+from repro.core import AccuracyParams
+from repro.graph import generators
+from repro.errors import ParameterError
+from repro.metrics.ranking import ndcg_at_k
+
+ALPHA = 0.2
+
+
+class TestTPA:
+    def test_pagerank_index(self, ba_graph):
+        index = TPAIndex(ba_graph, alpha=ALPHA)
+        assert index.pagerank.sum() == pytest.approx(1.0)
+        assert index.preprocess_seconds > 0
+        assert index.index_bytes == ba_graph.n * 8
+
+    def test_query_additive_error_shrinks_with_iterations(self, ba_graph,
+                                                          exact):
+        truth = exact.query(0).estimates
+        index = TPAIndex(ba_graph, alpha=ALPHA)
+        coarse = index.query(0, local_iterations=2).estimates
+        fine = index.query(0, local_iterations=30).estimates
+        assert np.abs(fine - truth).sum() < np.abs(coarse - truth).sum()
+
+    def test_tail_mass_matches_geometric_decay(self, ba_graph):
+        index = TPAIndex(ba_graph, alpha=ALPHA)
+        result = index.query(0, local_iterations=5)
+        assert result.extras["tail_mass"] == pytest.approx(
+            (1 - ALPHA) ** 5, abs=1e-9)
+
+    def test_estimates_still_sum_to_one(self, ba_graph):
+        index = TPAIndex(ba_graph, alpha=ALPHA)
+        result = index.query(0, local_iterations=4)
+        assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_validation(self, ba_graph):
+        index = TPAIndex(ba_graph, alpha=ALPHA)
+        with pytest.raises(ParameterError):
+            index.query(10_000)
+        with pytest.raises(ParameterError):
+            index.query(0, local_iterations=-1)
+
+
+class TestBePI:
+    def test_query_accurate_with_refinement(self, ba_graph, exact):
+        truth = exact.query(0).estimates
+        index = BePIIndex(ba_graph, alpha=ALPHA, refine_steps=4)
+        result = index.query(0)
+        # BePI is approximate by design (incomplete LU); refinement brings
+        # it within a small additive error, not machine precision.
+        assert np.abs(result.estimates - truth).max() < 1e-5
+
+    def test_refinement_improves_raw_solve(self, ba_graph, exact):
+        truth = exact.query(5).estimates
+        raw = BePIIndex(ba_graph, alpha=ALPHA, refine_steps=0,
+                        drop_tol=1e-2).query(5).estimates
+        refined = BePIIndex(ba_graph, alpha=ALPHA, refine_steps=2,
+                            drop_tol=1e-2).query(5).estimates
+        assert np.abs(refined - truth).max() <= np.abs(raw - truth).max()
+
+    def test_index_metadata(self, ba_graph):
+        index = BePIIndex(ba_graph, alpha=ALPHA)
+        assert index.preprocess_seconds > 0
+        assert index.index_bytes > 0
+        assert 0 < index.num_hubs < ba_graph.n
+
+    def test_zero_hubs(self, tiny_graph):
+        index = BePIIndex(tiny_graph, alpha=ALPHA, hub_ratio=0.0)
+        result = index.query(0)
+        assert result.estimates.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_restart_policy_rejected(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            BePIIndex(tiny_graph.with_dangling("restart"))
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            BePIIndex(ba_graph, hub_ratio=1.5)
+        index = BePIIndex(ba_graph)
+        with pytest.raises(ParameterError):
+            index.query(-3)
+
+
+class TestTopPPR:
+    def test_orders_top_nodes(self, ba_graph, exact):
+        truth = exact.query(0).estimates
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        result = topppr(ba_graph, 0, k=20, accuracy=accuracy, seed=1)
+        assert ndcg_at_k(truth, result.estimates, 20) > 0.95
+
+    def test_refinement_improves_candidates(self, ba_graph, exact):
+        truth = exact.query(0).estimates
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        refined = topppr(ba_graph, 0, k=10, accuracy=accuracy, seed=1,
+                         r_max_b=1e-6)
+        top_true = np.argsort(-truth)[:5]
+        gaps = np.abs(refined.estimates[top_true] - truth[top_true])
+        assert gaps.max() < 5e-3
+
+    def test_candidate_cap(self, ba_graph):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        result = topppr(ba_graph, 0, k=1_000_000, accuracy=accuracy,
+                        seed=1, max_candidates=10)
+        assert result.extras["candidates"] == 10
+        assert result.extras["k"] == ba_graph.n
+
+    def test_phase_times(self, ba_graph):
+        result = topppr(ba_graph, 0, k=10, seed=1)
+        assert set(result.phase_seconds) == {"push", "walks", "backward"}
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            topppr(ba_graph, 0, k=0)
+        with pytest.raises(ParameterError):
+            topppr(ba_graph, -1, k=5)
+
+
+class TestBackwardSearch:
+    def test_contributions_vector(self, ba_graph, exact):
+        target = 12
+        reserve, residue, _ = backward_contributions(ba_graph, target,
+                                                     r_max_b=1e-9)
+        truth_col = np.array([
+            exact.query(s).estimates[target] for s in range(0, 60, 7)
+        ])
+        approx_col = reserve[np.arange(0, 60, 7)]
+        assert np.abs(approx_col - truth_col).max() < 1e-6
+
+    def test_ssrwr_adaptation_on_small_graph(self, exact):
+        g = generators.preferential_attachment(50, 2, seed=4)
+        from repro.baselines.inverse import ExactSolver
+
+        truth = ExactSolver(g, ALPHA).query(0).estimates
+        result = ssrwr_via_backward(g, 0, r_max_b=1e-8)
+        assert np.abs(result.estimates - truth).max() < 1e-5
+
+    def test_targets_subset(self, ba_graph):
+        result = ssrwr_via_backward(ba_graph, 0, r_max_b=1e-4,
+                                    targets=[1, 2, 3])
+        assert result.estimates[10:].sum() == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the matrix-decomposition baselines: B-LIN and QR."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BLinIndex, QRIndex
+from repro.errors import ParameterError
+from repro.graph import generators
+
+ALPHA = 0.2
+
+
+class TestQR:
+    def test_exact_to_floating_point(self, ba_graph, exact):
+        index = QRIndex(ba_graph, alpha=ALPHA)
+        for source in (0, 17, 101):
+            truth = exact.query(source).estimates
+            result = index.query(source)
+            assert np.max(np.abs(result.estimates - truth)) < 1e-10
+
+    def test_index_is_dense(self, ba_graph):
+        index = QRIndex(ba_graph)
+        assert index.index_bytes >= 2 * ba_graph.n * ba_graph.n * 8
+        assert index.preprocess_seconds > 0
+
+    def test_max_nodes_guard(self):
+        g = generators.preferential_attachment(200, 2, seed=1)
+        with pytest.raises(ParameterError):
+            QRIndex(g, max_nodes=100)
+
+    def test_restart_policy_rejected(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            QRIndex(tiny_graph.with_dangling("restart"))
+
+    def test_query_validation(self, ba_graph):
+        index = QRIndex(ba_graph)
+        with pytest.raises(ParameterError):
+            index.query(-1)
+
+
+class TestBLin:
+    def test_full_rank_blocks_are_exact_without_cross_edges(self, exact,
+                                                            ba_graph):
+        # With a single block the "block inverse" is the whole system.
+        index = BLinIndex(ba_graph, num_blocks=1, rank=0)
+        truth = exact.query(0).estimates
+        result = index.query(0)
+        assert np.max(np.abs(result.estimates - truth)) < 1e-10
+
+    def test_rank_zero_ignores_cross_edges(self, ba_graph, exact):
+        index = BLinIndex(ba_graph, num_blocks=4, rank=0)
+        truth = exact.query(0).estimates
+        result = index.query(0)
+        # Approximation error is real but bounded: it only misses the
+        # cross-block propagation.
+        error = np.max(np.abs(result.estimates - truth))
+        assert 0 < error < 0.5
+
+    def test_higher_rank_more_accurate(self, ba_graph, exact):
+        truth = exact.query(0).estimates
+        errors = {}
+        for rank in (0, 8, 64):
+            index = BLinIndex(ba_graph, num_blocks=4, rank=rank)
+            result = index.query(0)
+            errors[rank] = float(np.abs(result.estimates - truth).max())
+        assert errors[64] < errors[8] < errors[0]
+
+    def test_full_rank_recovers_exact(self, exact, ba_graph):
+        # The cross-block spectrum of a social graph decays slowly (the
+        # reason B-LIN is dominated in practice); only near-full rank
+        # recovers the exact answer.
+        index = BLinIndex(ba_graph, num_blocks=2, rank=ba_graph.n - 10)
+        truth = exact.query(5).estimates
+        result = index.query(5)
+        assert np.max(np.abs(result.estimates - truth)) < 1e-8
+
+    def test_metadata(self, ba_graph):
+        index = BLinIndex(ba_graph, num_blocks=4, rank=8)
+        assert index.preprocess_seconds > 0
+        assert index.index_bytes > 0
+        result = index.query(0)
+        assert result.extras["rank"] == 8
+        assert result.extras["num_blocks"] == 4
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            BLinIndex(ba_graph, num_blocks=0)
+        with pytest.raises(ParameterError):
+            BLinIndex(ba_graph, rank=-1)
+        with pytest.raises(ParameterError):
+            BLinIndex(ba_graph.with_dangling("restart"))

@@ -1,0 +1,157 @@
+"""Tests for the Monte-Carlo family: MC, FORA, FORA+, BiPPR, PF."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ForaPlusIndex,
+    bippr_pair,
+    bippr_ssrwr,
+    expected_index_walks,
+    fora,
+    monte_carlo,
+    particle_filtering,
+)
+from repro.core import AccuracyParams
+from repro.errors import ParameterError
+from repro.metrics.errors import guarantee_violation_rate
+
+ALPHA = 0.2
+
+
+class TestMonteCarlo:
+    def test_sums_to_one(self, ba_graph, rng):
+        result = monte_carlo(ba_graph, 0, num_walks=2_000, rng=rng)
+        assert result.estimates.sum() == pytest.approx(1.0)
+
+    def test_meets_contract(self, ba_graph, exact):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        truth = exact.query(3).estimates
+        result = monte_carlo(ba_graph, 3, accuracy=accuracy, seed=1)
+        assert guarantee_violation_rate(truth, result.estimates,
+                                        accuracy) == 0.0
+
+    def test_default_walk_count_is_contract_budget(self, ba_graph):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        result = monte_carlo(ba_graph, 0, accuracy=accuracy, seed=0)
+        assert result.walks_used == int(np.ceil(accuracy.walk_constant))
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            monte_carlo(ba_graph, 0, num_walks=0)
+        with pytest.raises(ParameterError):
+            monte_carlo(ba_graph, -1, num_walks=10)
+
+
+class TestFora:
+    def test_meets_contract(self, ba_graph, exact):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        truth = exact.query(9).estimates
+        result = fora(ba_graph, 9, accuracy=accuracy, seed=2)
+        assert guarantee_violation_rate(truth, result.estimates,
+                                        accuracy) == 0.0
+
+    def test_uses_fewer_walks_than_mc(self, ba_graph):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        f = fora(ba_graph, 0, accuracy=accuracy, seed=1)
+        mc_walks = int(np.ceil(accuracy.walk_constant))
+        assert f.walks_used < mc_walks
+        assert f.extras["r_sum"] < 1.0
+
+    def test_phase_times(self, ba_graph):
+        result = fora(ba_graph, 0, seed=1)
+        assert set(result.phase_seconds) == {"push", "walks"}
+
+    def test_time_cap_reduces_walks(self, ba_graph):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        full = fora(ba_graph, 0, accuracy=accuracy, seed=1)
+        capped = fora(ba_graph, 0, accuracy=accuracy, seed=1,
+                      max_seconds=0.0)
+        assert capped.walks_used <= full.walks_used
+        assert capped.estimates.sum() <= full.estimates.sum() + 1e-9
+
+    def test_explicit_r_max(self, ba_graph):
+        result = fora(ba_graph, 0, r_max=1e-3, seed=1)
+        assert result.extras["r_max"] == 1e-3
+
+
+class TestForaPlus:
+    def test_index_query_meets_contract(self, ba_graph, exact):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        index = ForaPlusIndex(ba_graph, accuracy=accuracy, seed=3)
+        truth = exact.query(6).estimates
+        result = index.query(6)
+        assert guarantee_violation_rate(truth, result.estimates,
+                                        accuracy) == 0.0
+
+    def test_preprocess_and_size_reported(self, ba_graph):
+        index = ForaPlusIndex(ba_graph, seed=0)
+        assert index.preprocess_seconds > 0
+        assert index.index_bytes > ba_graph.n * 8
+
+    def test_expected_walks_matches_index(self, ba_graph):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        index = ForaPlusIndex(ba_graph, accuracy=accuracy, seed=0)
+        expected = expected_index_walks(ba_graph, accuracy,
+                                        r_max=index.r_max)
+        assert index._endpoints.shape[0] == expected
+
+    def test_capped_index_reports_shortfall(self, ba_graph):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        index = ForaPlusIndex(ba_graph, accuracy=accuracy,
+                              max_walks_per_node=1, seed=0)
+        result = index.query(0)
+        assert result.extras["endpoint_shortfall"] > 0
+
+    def test_source_validation(self, ba_graph):
+        index = ForaPlusIndex(ba_graph, seed=0)
+        with pytest.raises(ParameterError):
+            index.query(-1)
+
+
+class TestBiPPR:
+    def test_pair_estimate_close_to_truth(self, ba_graph, exact):
+        truth = exact.query(0).estimates
+        target = int(np.argmax(truth[1:])) + 1
+        estimate = bippr_pair(ba_graph, 0, target, r_max_b=1e-5,
+                              num_walks=4_000, seed=1)
+        assert estimate == pytest.approx(truth[target], abs=0.01)
+
+    def test_ssrwr_adaptation(self, exact, ba_graph):
+        truth = exact.query(0).estimates
+        result = bippr_ssrwr(ba_graph, 0, r_max_b=1e-4, num_walks=2_000,
+                             seed=1, targets=range(20))
+        assert np.abs(result.estimates[:20] - truth[:20]).max() < 0.05
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            bippr_pair(ba_graph, 0, 10_000)
+        with pytest.raises(ParameterError):
+            bippr_ssrwr(ba_graph, -1)
+
+
+class TestParticleFiltering:
+    def test_estimates_near_truth_with_small_wmin(self, ba_graph, exact):
+        truth = exact.query(0).estimates
+        result = particle_filtering(ba_graph, 0, 50_000, w_min=1.0, seed=1)
+        assert np.abs(result.estimates - truth).max() < 0.02
+
+    def test_larger_wmin_larger_error(self, ba_graph, exact):
+        truth = exact.query(0).estimates
+        small = particle_filtering(ba_graph, 0, 20_000, w_min=1.0, seed=1)
+        large = particle_filtering(ba_graph, 0, 20_000, w_min=2_000.0,
+                                   seed=1)
+        err_small = np.abs(small.estimates - truth).sum()
+        err_large = np.abs(large.estimates - truth).sum()
+        assert err_large > err_small
+
+    def test_dropped_mass_reported(self, ba_graph):
+        result = particle_filtering(ba_graph, 0, 1_000, w_min=200.0, seed=1)
+        assert 0.0 <= result.extras["dropped_mass"] <= 1.0
+        assert result.estimates.sum() <= 1.0 + 1e-9
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            particle_filtering(ba_graph, 0, 0)
+        with pytest.raises(ParameterError):
+            particle_filtering(ba_graph, 0, 10, w_min=0.0)

@@ -1,0 +1,104 @@
+"""Tests for JSON/CSV artefact export."""
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro.bench.export import (
+    artifact_to_dict,
+    export_csv,
+    export_json,
+    load_json,
+)
+from repro.bench.report import Series, Table
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def table():
+    t = Table(title="T", headers=["name", "value"])
+    t.add_row("a", 1.5)
+    t.add_row("b", "o.o.m")
+    t.add_note("a note")
+    return t
+
+
+@pytest.fixture
+def series():
+    s = Series(title="S", x_label="k", x_values=[1, 10])
+    s.add_line("algo", [0.5, 0.25])
+    return s
+
+
+class TestDictConversion:
+    def test_table(self, table):
+        data = artifact_to_dict(table)
+        assert data["kind"] == "table"
+        assert data["rows"] == [["a", 1.5], ["b", "o.o.m"]]
+        assert data["notes"] == ["a note"]
+
+    def test_series(self, series):
+        data = artifact_to_dict(series)
+        assert data["kind"] == "series"
+        assert data["lines"]["algo"] == [0.5, 0.25]
+
+    def test_non_finite_values(self):
+        t = Table(title="T", headers=["x"])
+        t.add_row(float("nan"))
+        t.add_row(float("inf"))
+        data = artifact_to_dict(t)
+        assert data["rows"][0] == [None]
+        assert data["rows"][1] == ["inf"]
+
+    def test_numpy_scalars(self):
+        import numpy as np
+
+        t = Table(title="T", headers=["x"])
+        t.add_row(np.float64(0.5))
+        t.add_row(np.int64(3))
+        data = artifact_to_dict(t)
+        assert data["rows"] == [[0.5], [3]]
+        json.dumps(data)  # must be serializable
+
+    def test_unknown_artifact(self):
+        with pytest.raises(ParameterError):
+            artifact_to_dict(object())
+
+
+class TestFiles:
+    def test_json_roundtrip(self, tmp_path, table, series):
+        path = export_json([table, series], tmp_path / "out.json",
+                           experiment="t3")
+        doc = load_json(path)
+        assert doc["experiment"] == "t3"
+        assert len(doc["artifacts"]) == 2
+        assert doc["artifacts"][0]["title"] == "T"
+
+    def test_csv_table(self, tmp_path, table):
+        path = export_csv(table, tmp_path / "t.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["name", "value"]
+        assert rows[1] == ["a", "1.5"]
+
+    def test_csv_series(self, tmp_path, series):
+        path = export_csv(series, tmp_path / "s.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["k", "algo"]
+        assert rows[2] == ["10", "0.25"]
+
+
+class TestCLIJson:
+    def test_run_with_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "fig1.json"
+        assert main(["run", "fig1", "--fast", "--json", str(target)]) == 0
+        doc = load_json(target)
+        assert doc["experiment"] == "fig1"
+        assert not math.isnan(
+            doc["artifacts"][0]["rows"][0][1]
+        )

@@ -1,0 +1,180 @@
+"""Tests for the bench harness, solver factories and CLI plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.bench import ALL_EXPERIMENTS, BenchConfig, GroundTruthCache
+from repro.bench.harness import SolverRun, run_suite, timed, truths_for
+from repro.bench.solvers import (
+    make_fora,
+    make_mc,
+    make_power,
+    make_resacc,
+    rng_for,
+)
+from repro.cli import build_parser, config_from_args, main
+from repro.core import AccuracyParams
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.preferential_attachment(200, 3, seed=1)
+
+
+class TestBenchConfig:
+    def test_defaults_are_paper_settings(self):
+        cfg = BenchConfig()
+        assert cfg.delta_scale == 1.0
+        assert cfg.eps == 0.5
+
+    def test_fast_defaults(self):
+        cfg = BenchConfig.fast_defaults()
+        assert cfg.fast
+        assert cfg.scale < 1.0
+
+    def test_accuracy_for(self, graph):
+        cfg = BenchConfig()
+        acc = cfg.accuracy_for(graph)
+        assert acc.delta == pytest.approx(1 / graph.n)
+        assert acc.p_f == pytest.approx(1 / graph.n)
+
+    def test_sources_deterministic(self, graph):
+        cfg = BenchConfig(num_sources=4)
+        assert cfg.sources_for(graph) == cfg.sources_for(graph)
+        assert len(cfg.sources_for(graph)) == 4
+
+    def test_scaled_override(self):
+        cfg = BenchConfig().scaled(num_sources=9)
+        assert cfg.num_sources == 9
+        assert cfg.delta_scale == 1.0
+
+
+class TestGroundTruthCache:
+    def test_caches_and_matches_power(self, graph):
+        from repro.baselines import power_iteration
+
+        cache = GroundTruthCache()
+        a = cache.truth(graph, 0)
+        b = cache.truth(graph, 0)
+        assert a is b
+        iterated = power_iteration(graph, 0, tol=1e-13).estimates
+        assert np.max(np.abs(a - iterated)) < 1e-9
+
+
+class TestRunSuite:
+    def test_collects_times_and_estimates(self, graph):
+        acc = AccuracyParams.paper_defaults(graph.n)
+        solvers = {
+            "MC": make_mc(acc, seed=0),
+            "ResAcc": make_resacc(acc, 1, seed=0),
+        }
+        runs = run_suite(graph, [0, 5], solvers)
+        assert set(runs) == {"MC", "ResAcc"}
+        assert len(runs["MC"].seconds) == 2
+        assert runs["ResAcc"].estimates[0].shape == (graph.n,)
+        assert runs["MC"].mean_seconds > 0
+
+    def test_metric_helpers(self, graph):
+        acc = AccuracyParams.paper_defaults(graph.n)
+        cache = GroundTruthCache()
+        runs = run_suite(graph, [0], {"FORA": make_fora(acc, seed=0)})
+        truths = truths_for(cache, graph, [0])
+        run = runs["FORA"]
+        errs = run.mean_abs_error_at_kth(truths, (1, 10))
+        assert set(errs) == {1, 10}
+        ndcg = run.mean_ndcg_at(truths, (10,))
+        assert 0 <= ndcg[10] <= 1
+        assert len(run.per_source_abs_errors(truths)) == 1
+
+    def test_timed(self):
+        value, seconds = timed(lambda: 42)
+        assert value == 42
+        assert seconds >= 0
+
+    def test_solver_run_empty(self):
+        run = SolverRun(name="x")
+        assert np.isnan(run.mean_seconds)
+
+
+class TestSolverFactories:
+    def test_rng_for_deterministic(self):
+        a = rng_for(1, 2).random(3)
+        b = rng_for(1, 2).random(3)
+        c = rng_for(1, 3).random(3)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_power_factory(self, graph):
+        result = make_power(tol=1e-8)(graph, 0)
+        assert result.algorithm == "power"
+
+    def test_resacc_factory_h(self, graph):
+        acc = AccuracyParams.paper_defaults(graph.n)
+        result = make_resacc(acc, 2, seed=0)(graph, 0)
+        assert result.algorithm == "resacc"
+
+
+class TestCLI:
+    def test_experiment_registry_complete(self):
+        expected = {
+            "table2", "table3", "table4", "table5", "table6", "table7",
+            "fig1", "fig3", "fig4", "fig5", "fig6", "fig7-10", "fig11",
+            "fig12-13", "fig14-15", "fig16-17", "fig18-20", "fig21",
+            "fig22", "fig23", "fig24",
+            "ext-alpha", "ext-estimator", "ext-scheduling", "ext-weighted",
+        }
+        assert expected == set(ALL_EXPERIMENTS)
+
+    def test_parser_and_config(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig1", "--fast", "--sources", "2"])
+        cfg = config_from_args(args)
+        assert cfg.fast
+        assert cfg.num_sources == 2
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nonsense"]) == 2
+
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "residue accumulation" in out
+
+
+class TestSolverFactoriesExtra:
+    def test_fwd_factory_default_threshold_scales_with_graph(self, graph):
+        from repro.bench.solvers import make_fwd
+
+        result = make_fwd()(graph, 0)
+        assert result.extras["r_max"] == pytest.approx(
+            1.0 / (50.0 * graph.m))
+
+    def test_fwd_factory_explicit_threshold(self, graph):
+        from repro.bench.solvers import make_fwd
+
+        result = make_fwd(r_max=1e-4)(graph, 0)
+        assert result.extras["r_max"] == 1e-4
+
+    def test_index_solver_ignores_graph_argument(self, graph):
+        from repro.baselines import TPAIndex
+        from repro.bench.solvers import make_index_solver
+
+        index = TPAIndex(graph)
+        solver = make_index_solver(index)
+        result = solver(None, 5)  # the bound index supplies the graph
+        assert result.source == 5
+
+    def test_topppr_factory(self, graph):
+        from repro.bench.solvers import make_topppr
+        from repro.core import AccuracyParams
+
+        acc = AccuracyParams.paper_defaults(graph.n)
+        result = make_topppr(acc, k=10, seed=0, max_candidates=8)(graph, 0)
+        assert result.algorithm == "topppr"
+        assert result.extras["candidates"] <= 8

@@ -1,0 +1,107 @@
+"""Tests for the table/series rendering and value formatting."""
+
+import pytest
+
+from repro.bench.report import (
+    OOM,
+    OOT,
+    Series,
+    Table,
+    format_value,
+    render_all,
+)
+
+
+class TestFormatValue:
+    def test_strings_pass_through(self):
+        assert format_value(OOM) == "o.o.m"
+        assert format_value(OOT) == "o.o.t"
+
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_ints_group(self):
+        assert format_value(1_234_567) == "1,234,567"
+
+    def test_zero(self):
+        assert format_value(0) == "0"
+        assert format_value(0.0) == "0"
+
+    def test_small_floats_scientific(self):
+        assert "e" in format_value(1.5e-7)
+
+    def test_large_floats_scientific(self):
+        assert "e" in format_value(3.2e9)
+
+    def test_normal_floats_compact(self):
+        assert format_value(0.5126) == "0.5126"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(title="T", headers=["a", "bbbb"])
+        table.add_row(1, 2.5)
+        table.add_row("o.o.m", 0)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bbbb" in lines[2]
+        assert len({len(line) for line in lines[2:5]}) <= 2
+
+    def test_notes_rendered(self):
+        table = Table(title="T", headers=["x"])
+        table.add_row(1)
+        table.add_note("hello")
+        assert "note: hello" in table.render()
+
+    def test_column_access(self):
+        table = Table(title="T", headers=["name", "value"])
+        table.add_row("a", 1)
+        table.add_row("b", 2)
+        assert table.column("value") == [1, 2]
+
+    def test_str(self):
+        table = Table(title="T", headers=["x"])
+        assert str(table).startswith("T")
+
+
+class TestSeries:
+    def test_line_length_checked(self):
+        series = Series(title="S", x_label="k", x_values=[1, 2, 3])
+        with pytest.raises(ValueError):
+            series.add_line("bad", [1.0])
+
+    def test_to_table(self):
+        series = Series(title="S", x_label="k", x_values=[1, 10])
+        series.add_line("algo", [0.5, 0.25])
+        table = series.to_table()
+        assert table.headers == ["k", "algo"]
+        assert table.rows[1] == [10, 0.25]
+
+    def test_render_contains_values(self):
+        series = Series(title="S", x_label="k", x_values=[1])
+        series.add_line("a", [0.125])
+        assert "0.125" in series.render()
+
+
+def test_render_all_joins():
+    t1 = Table(title="One", headers=["x"])
+    t2 = Table(title="Two", headers=["y"])
+    text = render_all([t1, t2])
+    assert "One" in text and "Two" in text
+    assert "\n\n" in text
+
+
+class TestMarkdown:
+    def test_to_markdown_structure(self):
+        table = Table(title="T", headers=["name", "value"])
+        table.add_row("a", 0.5)
+        table.add_note("hello")
+        md = table.to_markdown()
+        assert md.startswith("**T**")
+        assert "| name | value |" in md
+        assert "| a | 0.5 |" in md
+        assert "*hello*" in md

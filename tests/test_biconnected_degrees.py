@@ -1,0 +1,156 @@
+"""Tests for the biconnected/whisker structure and degree diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    degree_histogram,
+    hill_tail_index,
+    render_degree_histogram,
+)
+from repro.errors import ParameterError
+from repro.graph import (
+    articulation_points,
+    biconnected_core,
+    from_edges,
+    generators,
+    whisker_mask,
+)
+
+
+def lollipop():
+    """A 5-clique with a 3-node tail hanging off node 0 (symmetrized)."""
+    edges = [(i, j) for i in range(5) for j in range(5) if i != j]
+    edges += [(0, 5), (5, 0), (5, 6), (6, 5), (6, 7), (7, 6)]
+    return from_edges(8, edges)
+
+
+class TestArticulation:
+    def test_lollipop_cut_vertices(self):
+        g = lollipop()
+        cuts = set(int(v) for v in articulation_points(g))
+        assert cuts == {0, 5, 6}
+
+    def test_cycle_has_none(self):
+        g = generators.ring(8)
+        assert articulation_points(g).size == 0
+
+    def test_path_interior_nodes(self):
+        g = from_edges(5, [(i, i + 1) for i in range(4)], symmetrize=True)
+        cuts = set(int(v) for v in articulation_points(g))
+        assert cuts == {1, 2, 3}
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+
+        g = generators.preferential_attachment(150, 1, seed=3)
+        ours = set(int(v) for v in articulation_points(g))
+        undirected = nx.Graph(list(g.edges()))
+        theirs = set(nx.articulation_points(undirected))
+        assert ours == theirs
+
+    def test_deep_graph_no_recursion_error(self):
+        g = from_edges(20_000, [(i, i + 1) for i in range(19_999)],
+                       symmetrize=True)
+        cuts = articulation_points(g)
+        assert cuts.size == 19_998  # every interior node
+
+
+class TestWhiskers:
+    def test_lollipop_tail_is_whisker(self):
+        g = lollipop()
+        mask = whisker_mask(g)
+        assert sorted(np.flatnonzero(mask)) == [5, 6, 7]
+
+    def test_core_extraction(self):
+        g = lollipop()
+        core, mapping = biconnected_core(g)
+        assert sorted(mapping) == [0, 1, 2, 3, 4]
+        assert core.m == 20  # the 5-clique survives intact
+
+    def test_biconnected_graph_keeps_everything(self):
+        g = generators.ring(10)
+        core, mapping = biconnected_core(g)
+        assert core.n == 10
+
+    def test_nise_runs_on_core(self):
+        from repro.community import nise
+        from repro.core import resacc
+
+        g = lollipop()
+        core, mapping = biconnected_core(g)
+        solver = lambda graph, s: resacc(graph, s, seed=s)  # noqa: E731
+        result = nise(core, 1, solver)
+        assert result.num_communities == 1
+
+
+class TestDegreeDiagnostics:
+    def test_histogram_counts_all_positive_degrees(self, ba_graph):
+        edges, counts = degree_histogram(ba_graph)
+        positive = int((ba_graph.out_degrees > 0).sum())
+        assert counts.sum() == positive
+
+    def test_render(self, ba_graph):
+        text = render_degree_histogram(ba_graph)
+        assert "out-degree histogram" in text
+        assert "#" in text
+
+    def test_heavy_tail_vs_uniform(self):
+        heavy = generators.preferential_attachment(2_000, 3, seed=1)
+        thin = generators.erdos_renyi(2_000, 6, seed=1, symmetrize=True)
+        gamma_heavy = hill_tail_index(heavy, kind="total")
+        gamma_thin = hill_tail_index(thin, kind="total")
+        # Power-law tails have small gamma; Poisson tails decay faster.
+        assert gamma_heavy < gamma_thin
+
+    def test_catalog_social_graphs_are_heavy_tailed(self):
+        from repro.datasets import catalog
+
+        g = catalog.load("orkut", scale=0.2)
+        assert hill_tail_index(g, kind="total") < 4.0
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            hill_tail_index(ba_graph, tail_fraction=0.0)
+        with pytest.raises(ParameterError):
+            degree_histogram(ba_graph, kind="sideways")
+
+
+class TestBridges:
+    def test_lollipop_bridges(self):
+        from repro.graph.biconnected import bridges
+
+        g = lollipop()
+        found = set(map(tuple, bridges(g).tolist()))
+        assert found == {(0, 5), (5, 6), (6, 7)}
+
+    def test_cycle_has_no_bridges(self):
+        from repro.graph.biconnected import bridges
+
+        g = generators.ring(8)
+        assert bridges(g).shape == (0, 2)
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graph.biconnected import bridges
+
+        g = generators.preferential_attachment(150, 1, seed=3)
+        ours = set(map(tuple, bridges(g).tolist()))
+        undirected = nx.Graph(list(g.edges()))
+        theirs = {(min(u, v), max(u, v))
+                  for u, v in nx.bridges(undirected)}
+        assert ours == theirs
+
+
+def test_nise_whisker_filter_expands_on_core():
+    from repro.community import nise
+    from repro.core import resacc
+
+    g = lollipop()
+    solver = lambda graph, s: resacc(graph, s, seed=s)  # noqa: E731
+    result = nise(g, 1, solver, filter_whiskers=True)
+    assert result.extras["filtered_to_core"] == 5
+    covered = set()
+    for community in result.communities:
+        covered.update(int(v) for v in community)
+    assert covered <= {0, 1, 2, 3, 4}

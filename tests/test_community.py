@@ -1,0 +1,220 @@
+"""Tests for sweep cut, seeding, quality metrics and NISE."""
+
+import numpy as np
+import pytest
+
+from repro.community import (
+    average_conductance,
+    average_normalized_cut,
+    conductance,
+    cut_and_volume,
+    highest_out_degree_nodes,
+    membership_mask,
+    nise,
+    normalized_cut,
+    random_seeds,
+    spread_hubs,
+    sweep_cut,
+    sweep_order,
+)
+from repro.core import AccuracyParams, resacc
+from repro.errors import ParameterError
+from repro.graph import from_edges, generators
+
+
+@pytest.fixture
+def two_cliques():
+    """Two 6-cliques joined by a single (bidirectional) bridge."""
+    edges = []
+    for base in (0, 6):
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    edges.append((base + i, base + j))
+    edges += [(0, 6), (6, 0)]
+    return from_edges(12, edges)
+
+
+class TestQuality:
+    def test_cut_and_volume(self, two_cliques):
+        cut, volume = cut_and_volume(two_cliques, range(6))
+        assert cut == 1
+        assert volume == 6 * 5 + 1
+
+    def test_normalized_cut_and_conductance(self, two_cliques):
+        clique = range(6)
+        assert normalized_cut(two_cliques, clique) == pytest.approx(1 / 31)
+        assert conductance(two_cliques, clique) == pytest.approx(1 / 31)
+
+    def test_whole_graph_zero_conductance_denominator(self, two_cliques):
+        assert conductance(two_cliques, range(12)) == 0.0
+
+    def test_empty_community(self, two_cliques):
+        assert normalized_cut(two_cliques, []) == 0.0
+
+    def test_averages(self, two_cliques):
+        communities = [range(6), range(6, 12)]
+        anc = average_normalized_cut(two_cliques, communities)
+        ac = average_conductance(two_cliques, communities)
+        assert anc == pytest.approx(1 / 31)
+        assert ac == pytest.approx(1 / 31)
+        with pytest.raises(ParameterError):
+            average_conductance(two_cliques, [])
+
+    def test_membership_mask_validation(self, two_cliques):
+        with pytest.raises(ParameterError):
+            membership_mask(two_cliques, [99])
+
+
+class TestSweep:
+    def test_sweep_recovers_clique(self, two_cliques):
+        scores = np.zeros(12)
+        scores[:6] = np.linspace(1.0, 0.5, 6)  # PPR-like: high inside
+        result = sweep_cut(two_cliques, scores)
+        assert sorted(result.community) == list(range(6))
+        assert result.conductance == pytest.approx(1 / 31)
+
+    def test_sweep_with_real_ppr(self, two_cliques):
+        scores = resacc(two_cliques, 0, seed=1).estimates
+        result = sweep_cut(two_cliques, scores)
+        assert sorted(result.community) == list(range(6))
+
+    def test_sweep_order_degree_normalization(self, two_cliques):
+        scores = np.zeros(12)
+        scores[0] = 1.0
+        scores[6] = 0.9
+        order = sweep_order(two_cliques, scores)
+        assert list(order) == [0, 6]
+
+    def test_explicit_order(self, two_cliques):
+        order = np.arange(6)
+        result = sweep_cut(two_cliques, None, order=order)
+        assert result.size <= 6
+
+    def test_max_size_cap(self, two_cliques):
+        scores = np.ones(12)
+        result = sweep_cut(two_cliques, scores, max_size=3)
+        assert result.size <= 3
+
+    def test_empty_scores_raise(self, two_cliques):
+        with pytest.raises(ParameterError):
+            sweep_cut(two_cliques, np.zeros(12))
+
+    def test_score_shape_validation(self, two_cliques):
+        with pytest.raises(ParameterError):
+            sweep_cut(two_cliques, np.ones(5))
+
+
+class TestSeeding:
+    def test_spread_hubs_no_adjacent_seeds(self, ba_graph):
+        seeds = spread_hubs(ba_graph, 10)
+        seed_set = set(seeds)
+        for s in seeds:
+            for u in ba_graph.out_neighbors(s):
+                assert int(u) not in seed_set or int(u) == s
+
+    def test_spread_hubs_prefers_high_degree(self, ba_graph):
+        seeds = spread_hubs(ba_graph, 1)
+        degrees = ba_graph.out_degrees + ba_graph.in_degrees
+        assert seeds[0] == int(np.argmax(degrees))
+
+    def test_random_seeds_deterministic_and_valid(self, web_graph):
+        a = random_seeds(web_graph, 5, seed=3)
+        b = random_seeds(web_graph, 5, seed=3)
+        assert a == b
+        assert len(set(a)) == 5
+        for s in a:
+            assert web_graph.out_degree(s) > 0
+
+    def test_highest_out_degree_nodes(self, ba_graph):
+        top = highest_out_degree_nodes(ba_graph, 3)
+        degrees = ba_graph.out_degrees
+        assert degrees[top[0]] == degrees.max()
+        assert len(top) == 3
+
+    def test_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            spread_hubs(ba_graph, 0)
+        with pytest.raises(ParameterError):
+            random_seeds(ba_graph, 0)
+        with pytest.raises(ParameterError):
+            spread_hubs(ba_graph, 3, degree="sideways")
+
+
+class TestNISE:
+    @pytest.fixture
+    def sbm(self):
+        return generators.stochastic_block_model(
+            [40] * 5, p_in=0.2, p_out=0.004, seed=2
+        )
+
+    def test_nise_with_ssrwr(self, sbm):
+        accuracy = AccuracyParams.paper_defaults(sbm.n)
+        solver = lambda g, s: resacc(g, s, accuracy=accuracy,   # noqa: E731
+                                     seed=s)
+        result = nise(sbm, 5, solver)
+        assert result.num_communities == 5
+        assert 0.0 <= result.average_conductance <= 1.0
+        assert result.solver_seconds > 0
+
+    def test_ssrwr_beats_bfs_ordering(self, sbm):
+        accuracy = AccuracyParams.paper_defaults(sbm.n)
+        solver = lambda g, s: resacc(g, s, accuracy=accuracy,   # noqa: E731
+                                     seed=s)
+        with_ssrwr = nise(sbm, 5, solver)
+        without = nise(sbm, 5, use_ssrwr=False)
+        assert (with_ssrwr.average_conductance
+                <= without.average_conductance + 0.05)
+
+    def test_nise_recovers_planted_blocks(self, sbm):
+        from repro.graph.generators import block_membership
+
+        accuracy = AccuracyParams.paper_defaults(sbm.n)
+        solver = lambda g, s: resacc(g, s, accuracy=accuracy,   # noqa: E731
+                                     seed=s)
+        result = nise(sbm, 5, solver, max_community_size=60)
+        labels = block_membership([40] * 5)
+        purities = []
+        for community in result.communities:
+            counts = np.bincount(labels[community], minlength=5)
+            purities.append(counts.max() / counts.sum())
+        assert np.mean(purities) > 0.8
+
+    def test_propagation_covers_reachable_nodes(self, two_cliques):
+        solver = lambda g, s: resacc(g, s, seed=s)   # noqa: E731
+        result = nise(two_cliques, 2, solver, propagate=True)
+        covered = set()
+        for community in result.communities:
+            covered.update(int(v) for v in community)
+        assert covered == set(range(12))
+
+    def test_requires_solver_when_ssrwr(self, two_cliques):
+        with pytest.raises(ParameterError):
+            nise(two_cliques, 2, None, use_ssrwr=True)
+        with pytest.raises(ParameterError):
+            nise(two_cliques, 0, None, use_ssrwr=False)
+
+
+class TestNISEFilterPhase:
+    def test_filter_to_largest_component(self):
+        from repro.graph import from_edges
+
+        # Two cliques plus a disconnected triangle; the filter keeps only
+        # the larger component and reports original node ids.
+        edges = []
+        for base in (0, 6):
+            for i in range(6):
+                for j in range(6):
+                    if i != j:
+                        edges.append((base + i, base + j))
+        edges += [(0, 6), (6, 0)]
+        edges += [(12, 13), (13, 14), (14, 12)]
+        g = from_edges(15, edges, symmetrize=True)
+        solver = lambda graph, s: resacc(graph, s, seed=s)  # noqa: E731
+        result = nise(g, 2, solver, filter_to_largest_component=True)
+        covered = set()
+        for community in result.communities:
+            covered.update(int(v) for v in community)
+        assert covered <= set(range(12))
+        assert result.extras["filtered_to_core"] == 12
+        assert all(0 <= s < 12 for s in result.seeds)

@@ -1,0 +1,159 @@
+"""Tests for connectivity utilities and the analytic cost models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fora_cost,
+    fora_optimal_cost,
+    forward_search_cost,
+    hhop_residue_bound,
+    mc_cost,
+    power_iteration_cost,
+    resacc_remedy_cost,
+)
+from repro.core import AccuracyParams
+from repro.core.params import fora_r_max
+from repro.errors import ParameterError
+from repro.graph import (
+    from_edges,
+    generators,
+    is_weakly_connected,
+    largest_component,
+    weakly_connected_components,
+    weakly_connected_labels,
+)
+
+
+class TestComponents:
+    def test_single_component(self, ba_graph):
+        assert is_weakly_connected(ba_graph)
+        assert len(weakly_connected_components(ba_graph)) == 1
+
+    def test_two_components(self):
+        g = from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        comps = weakly_connected_components(g)
+        assert len(comps) == 2
+        assert sorted(comps[0]) == [0, 1, 2]
+        assert sorted(comps[1]) == [3, 4, 5]
+
+    def test_weak_vs_directed(self):
+        # Directionality is ignored: a one-way chain is weakly connected.
+        g = generators.path(5)
+        assert is_weakly_connected(g)
+
+    def test_isolated_nodes_are_singletons(self):
+        g = from_edges(4, [(0, 1)])
+        comps = weakly_connected_components(g)
+        assert [len(c) for c in comps] == [2, 1, 1]
+
+    def test_largest_component_extraction(self):
+        g = from_edges(7, [(0, 1), (1, 2), (2, 0), (4, 5)])
+        sub, mapping = largest_component(g)
+        assert sub.n == 3
+        assert sorted(mapping) == [0, 1, 2]
+        assert sub.m == 3
+
+    def test_labels_dense(self, web_graph):
+        labels = weakly_connected_labels(web_graph)
+        assert labels.min() >= 0
+        assert set(labels) == set(range(labels.max() + 1))
+
+    def test_matches_networkx(self, ba_graph):
+        nx = pytest.importorskip("networkx")
+        from repro.graph import to_networkx
+
+        ours = [set(map(int, c))
+                for c in weakly_connected_components(ba_graph)]
+        theirs = [set(c) for c in nx.weakly_connected_components(
+            to_networkx(ba_graph))]
+        assert sorted(ours, key=min) == sorted(theirs, key=min)
+
+
+class TestCostModels:
+    @pytest.fixture
+    def accuracy(self):
+        return AccuracyParams(eps=0.5, delta=1e-3, p_f=1e-3)
+
+    def test_fora_balanced_threshold_minimizes_model(self, ba_graph,
+                                                     accuracy):
+        optimum = fora_r_max(ba_graph, accuracy)
+        best = fora_cost(ba_graph, accuracy, optimum)
+        for factor in (0.1, 0.5, 2.0, 10.0):
+            assert fora_cost(ba_graph, accuracy, optimum * factor) >= best
+
+    def test_fora_optimal_closed_form(self, ba_graph, accuracy):
+        optimum = fora_r_max(ba_graph, accuracy)
+        assert fora_cost(ba_graph, accuracy, optimum) == pytest.approx(
+            fora_optimal_cost(ba_graph, accuracy))
+
+    def test_mc_dominates_fora(self, ba_graph, accuracy):
+        assert mc_cost(accuracy) > fora_optimal_cost(ba_graph, accuracy)
+
+    def test_remedy_cost_proportional_to_r_sum(self, accuracy):
+        assert resacc_remedy_cost(0.2, accuracy) == pytest.approx(
+            2 * resacc_remedy_cost(0.1, accuracy))
+        assert resacc_remedy_cost(0.0, accuracy) == 0.0
+
+    def test_hhop_bound_decreases_in_h(self):
+        bounds = [hhop_residue_bound(0.2, h) for h in range(5)]
+        assert bounds == sorted(bounds, reverse=True)
+        assert bounds[0] == 1.0
+
+    def test_power_cost_grows_with_precision(self, ba_graph):
+        assert power_iteration_cost(ba_graph, 1e-12) > \
+            power_iteration_cost(ba_graph, 1e-6)
+
+    def test_forward_search_cost_inverse_in_threshold(self):
+        assert forward_search_cost(0.2, 1e-6) == pytest.approx(
+            10 * forward_search_cost(0.2, 1e-5))
+
+    def test_models_track_measured_walk_gap(self, ba_graph, accuracy):
+        """The remedy model ranks ResAcc's and FORA's measured walk
+        budgets in the right order."""
+        from repro.baselines import fora
+        from repro.core import resacc
+
+        res = resacc(ba_graph, 0, accuracy=accuracy, seed=1)
+        frs = fora(ba_graph, 0, accuracy=accuracy, seed=1)
+        model_res = resacc_remedy_cost(res.extras["r_sum"], accuracy)
+        model_fora = resacc_remedy_cost(frs.extras["r_sum"], accuracy)
+        assert model_res < model_fora
+        assert res.walks_used < frs.walks_used
+
+    def test_validation(self, ba_graph, accuracy):
+        with pytest.raises(ParameterError):
+            mc_cost(accuracy, alpha=0.0)
+        with pytest.raises(ParameterError):
+            fora_cost(ba_graph, accuracy, 0.0)
+        with pytest.raises(ParameterError):
+            power_iteration_cost(ba_graph, 2.0)
+        with pytest.raises(ParameterError):
+            hhop_residue_bound(0.2, -1)
+        with pytest.raises(ParameterError):
+            resacc_remedy_cost(-0.1, accuracy)
+
+
+def test_components_on_random_graphs_match_union_find():
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        n = int(rng.integers(2, 40))
+        edges = np.column_stack([
+            rng.integers(0, n, size=n), rng.integers(0, n, size=n)
+        ])
+        g = from_edges(n, edges)
+        labels = weakly_connected_labels(g)
+        parent = list(range(n))
+
+        def find(x):
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in g.edges():
+            parent[find(u)] = find(v)
+        for u, v in g.edges():
+            assert labels[u] == labels[v]
+        roots = {find(v) for v in range(n)}
+        assert len(roots) == labels.max() + 1

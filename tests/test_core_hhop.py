@@ -1,0 +1,176 @@
+"""Tests for h-HopFWD: the accumulating/updating phases and their lemmas."""
+
+import numpy as np
+import pytest
+
+from repro.core.hhop import (
+    h_hop_forward,
+    hop_residue_sum,
+    oaop_reference,
+    residue_sum_bound,
+)
+from repro.graph import generators
+from repro.push import init_state, push_thresholds
+
+ALPHA = 0.2
+
+
+def run_hhop(graph, source, r_max_hop, h, method="frontier"):
+    reserve, residue = init_state(graph, source)
+    outcome = h_hop_forward(graph, source, ALPHA, r_max_hop, h,
+                            reserve, residue, method=method)
+    return reserve, residue, outcome
+
+
+class TestPaperExample:
+    """Figure 3: the 3-cycle s -> v1 -> v2 -> s, alpha=0.2, r_max=0.1."""
+
+    def test_r1_matches_paper(self):
+        g = generators.paper_figure3_graph()
+        _, _, outcome = run_hhop(g, 0, 0.1, 2, method="queue")
+        assert outcome.r1_source == pytest.approx(0.512)
+
+    def test_closed_form_matches_oaop(self):
+        g = generators.paper_figure3_graph()
+        reserve, residue, outcome = run_hhop(g, 0, 0.1, 2, method="queue")
+        ref_reserve, ref_residue, rounds = oaop_reference(
+            g, 0, ALPHA, 0.1, 2
+        )
+        assert outcome.num_rounds == rounds
+        assert np.allclose(reserve, ref_reserve, atol=1e-12)
+        assert np.allclose(residue, ref_residue, atol=1e-12)
+
+    def test_source_residue_below_condition_after(self):
+        """Lemma 3: r(s) < r_max_hop * d_out(s) afterwards."""
+        g = generators.paper_figure3_graph()
+        _, residue, _ = run_hhop(g, 0, 0.1, 2)
+        assert residue[0] < 0.1 * g.out_degree(0)
+
+
+class TestClosedFormVsOAOP:
+    """The closed form and the explicit replay are *different* valid
+    fixpoints: the replay rolls sub-threshold leftovers between rounds.
+    Both must satisfy the push invariant exactly (next class); against
+    each other they agree to O(r_max_hop-scale) slack."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("h", [1, 2])
+    def test_random_graphs_agree_approximately(self, seed, h):
+        g = generators.preferential_attachment(80, 2, seed=seed)
+        reserve, residue, outcome = run_hhop(g, 0, 1e-4, h, method="queue")
+        ref_reserve, ref_residue, rounds = oaop_reference(
+            g, 0, ALPHA, 1e-4, h
+        )
+        # OAOP's rolled-over leftovers can shift its stopping round by one.
+        assert abs(outcome.num_rounds - rounds) <= 1
+        assert np.allclose(reserve, ref_reserve, atol=5e-3)
+        assert reserve.sum() + residue.sum() == pytest.approx(1.0,
+                                                              abs=1e-10)
+        assert ref_reserve.sum() + ref_residue.sum() == pytest.approx(
+            1.0, abs=1e-10)
+
+    def test_directed_graph_agrees_approximately(self):
+        g = generators.directed_power_law(60, 3, seed=4)
+        source = int(np.flatnonzero(g.out_degrees > 0)[0])
+        reserve, residue, outcome = run_hhop(g, source, 1e-5, 2,
+                                             method="queue")
+        ref_reserve, ref_residue, rounds = oaop_reference(
+            g, source, ALPHA, 1e-5, 2
+        )
+        assert outcome.num_rounds == rounds
+        assert np.allclose(reserve, ref_reserve, atol=1e-3)
+
+
+class TestExactInvariant:
+    """The property unbiasedness rests on: the post-h-HopFWD state
+    satisfies pi(s,t) = reserve(t) + sum_v residue(v) pi(v,t) exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("h", [1, 2])
+    def test_invariant_against_exact_solver(self, seed, h):
+        from repro.baselines.inverse import ExactSolver
+
+        g = generators.preferential_attachment(60, 2, seed=seed)
+        solver = ExactSolver(g, ALPHA)
+        truth_vectors = [solver.query(v).estimates for v in range(g.n)]
+        reserve, residue, _ = run_hhop(g, 0, 1e-4, h)
+        combined = reserve.copy()
+        for v in np.flatnonzero(residue > 0):
+            combined += residue[v] * truth_vectors[v]
+        assert np.max(np.abs(combined - truth_vectors[0])) < 1e-10
+
+
+class TestInvariants:
+    def test_mass_conservation(self, ba_graph):
+        reserve, residue, _ = run_hhop(ba_graph, 0, 1e-6, 2)
+        assert reserve.sum() + residue.sum() == pytest.approx(1.0,
+                                                              abs=1e-10)
+
+    def test_subgraph_residues_bounded_by_scaled_threshold(self, ba_graph):
+        # Before the updating phase no inner node satisfies the condition;
+        # the geometric rescaling can push them back above it by at most
+        # the factor S (OMFWD deals with those).
+        reserve, residue, outcome = run_hhop(ba_graph, 0, 1e-6, 2)
+        thresholds = push_thresholds(ba_graph, 1e-6)
+        inner = outcome.hops.within(2)
+        inner[0] = False  # the source is exempt (Lemma 3 bounds it apart)
+        assert np.all(residue[inner] < thresholds[inner] * outcome.scaler
+                      + 1e-15)
+
+    def test_no_residue_beyond_boundary_layer(self, ba_graph):
+        reserve, residue, outcome = run_hhop(ba_graph, 0, 1e-6, 1)
+        beyond = outcome.hops.distances < 0
+        assert residue[beyond].sum() == 0.0
+        assert reserve[beyond].sum() == 0.0
+
+    def test_reserve_only_within_hop_set(self, ba_graph):
+        reserve, _, outcome = run_hhop(ba_graph, 0, 1e-6, 1)
+        outside = ~outcome.hops.within(1)
+        assert reserve[outside].sum() == 0.0
+
+    def test_lemma4_residue_bound(self):
+        """r_sum_hop <= (1 - alpha)^h when every subgraph node pushed."""
+        for h in (1, 2, 3):
+            g = generators.preferential_attachment(150, 3, seed=h)
+            reserve, residue, outcome = run_hhop(g, 0, 1e-9, h)
+            r_sum_hop = hop_residue_sum(residue, outcome.hops, h)
+            assert r_sum_hop <= residue_sum_bound(ALPHA, h) + 1e-9
+
+    def test_h_zero_single_push_only(self, ba_graph):
+        reserve, residue, outcome = run_hhop(ba_graph, 0, 1e-6, 0)
+        assert outcome.stats.pushes == 1
+        assert reserve[0] == pytest.approx(ALPHA)
+        assert outcome.r1_source == 0.0  # no loop can return in 0 hops
+
+    def test_dangling_source(self):
+        from repro.graph import from_edges
+
+        g = from_edges(4, [(0, 1), (1, 2), (2, 0)])  # node 3 is dangling
+        reserve, residue, _ = run_hhop(g, 3, 1e-6, 2)
+        assert reserve[3] == pytest.approx(1.0)
+        assert residue.sum() == 0.0
+
+
+class TestUpdatingFactors:
+    def test_rounds_decrease_source_residue_below_threshold(self):
+        g = generators.paper_figure3_graph()
+        for r_max in (0.2, 0.05, 1e-3, 1e-6):
+            _, residue, outcome = run_hhop(g, 0, r_max, 2)
+            assert residue[0] < r_max * g.out_degree(0)
+            assert residue[0] == pytest.approx(
+                outcome.r1_source ** outcome.num_rounds
+            )
+
+    def test_scaler_is_geometric_sum(self):
+        g = generators.paper_figure3_graph()
+        _, _, outcome = run_hhop(g, 0, 0.1, 2)
+        r1, t = outcome.r1_source, outcome.num_rounds
+        assert outcome.scaler == pytest.approx(sum(r1 ** i
+                                                   for i in range(t)))
+
+    def test_no_loop_means_single_round(self):
+        g = generators.path(6)  # no back-edges: r1 = 0
+        _, _, outcome = run_hhop(g, 0, 1e-6, 2)
+        assert outcome.r1_source == 0.0
+        assert outcome.num_rounds == 1
+        assert outcome.scaler == 1.0

@@ -1,0 +1,124 @@
+"""Tests for the OMFWD and remedy phases."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.inverse import ExactSolver
+from repro.core.hhop import h_hop_forward
+from repro.core.omfwd import omfwd, residue_sum
+from repro.core.params import AccuracyParams
+from repro.core.remedy import remedy
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.push import init_state, push_thresholds
+
+ALPHA = 0.2
+
+
+def state_after_hhop(graph, source, r_max_hop=1e-8, h=1):
+    reserve, residue = init_state(graph, source)
+    outcome = h_hop_forward(graph, source, ALPHA, r_max_hop, h,
+                            reserve, residue)
+    return reserve, residue, outcome
+
+
+class TestOMFWD:
+    @pytest.mark.parametrize("method", ["frontier", "queue"])
+    def test_reduces_residue_sum(self, ba_graph, method):
+        reserve, residue, outcome = state_after_hhop(ba_graph, 0)
+        before = residue_sum(residue)
+        omfwd(ba_graph, reserve, residue, ALPHA, 1e-4,
+              boundary_nodes=outcome.boundary_nodes, method=method)
+        after = residue_sum(residue)
+        assert after < before
+        assert reserve.sum() + residue.sum() == pytest.approx(1.0,
+                                                              abs=1e-10)
+
+    @pytest.mark.parametrize("method", ["frontier", "queue"])
+    def test_stopping_condition(self, ba_graph, method):
+        reserve, residue, outcome = state_after_hhop(ba_graph, 0)
+        r_max_f = 1.0 / (10 * ba_graph.m)
+        omfwd(ba_graph, reserve, residue, ALPHA, r_max_f,
+              boundary_nodes=outcome.boundary_nodes, method=method)
+        assert np.all(residue < push_thresholds(ba_graph, r_max_f))
+
+    def test_invariant_preserved(self):
+        g = generators.preferential_attachment(60, 2, seed=8)
+        solver = ExactSolver(g, ALPHA)
+        truth_vectors = [solver.query(v).estimates for v in range(g.n)]
+        reserve, residue, outcome = state_after_hhop(g, 0)
+        omfwd(g, reserve, residue, ALPHA, 1e-4,
+              boundary_nodes=outcome.boundary_nodes)
+        combined = reserve.copy()
+        for v in np.flatnonzero(residue > 0):
+            combined += residue[v] * truth_vectors[v]
+        assert np.max(np.abs(combined - truth_vectors[0])) < 1e-10
+
+    def test_queue_seed_order_prioritizes_boundary(self, ba_graph):
+        reserve, residue, outcome = state_after_hhop(ba_graph, 0)
+        from repro.core.omfwd import _build_seed_order
+
+        seeds = _build_seed_order(ba_graph, residue, 1e-6,
+                                  outcome.boundary_nodes)
+        boundary = set(int(v) for v in outcome.boundary_nodes)
+        hot_boundary = [s for s in seeds if int(s) in boundary]
+        # Boundary seeds come first and are sorted by decreasing residue.
+        assert list(seeds[:len(hot_boundary)]) == hot_boundary
+        boundary_res = residue[np.asarray(hot_boundary, dtype=np.int64)]
+        assert np.all(np.diff(boundary_res) <= 1e-15)
+
+    def test_no_boundary_nodes(self, ba_graph):
+        reserve, residue = init_state(ba_graph, 0)
+        stats = omfwd(ba_graph, reserve, residue, ALPHA, 1e-5,
+                      method="queue")
+        assert stats.pushes > 0
+        assert np.all(residue < push_thresholds(ba_graph, 1e-5))
+
+
+class TestRemedy:
+    def test_zero_walk_scale(self, ba_graph, rng):
+        residue = np.zeros(ba_graph.n)
+        residue[4] = 0.2
+        acc = AccuracyParams(eps=0.5, delta=0.01, p_f=0.01)
+        outcome = remedy(ba_graph, residue, ALPHA, acc, rng, walk_scale=0.0)
+        assert outcome.walks_used == 0
+        assert outcome.mass.sum() == 0.0
+        assert outcome.r_sum == pytest.approx(0.2)
+
+    def test_negative_walk_scale_rejected(self, ba_graph, rng):
+        acc = AccuracyParams(eps=0.5, delta=0.01, p_f=0.01)
+        with pytest.raises(ParameterError):
+            remedy(ba_graph, np.zeros(ba_graph.n), ALPHA, acc, rng,
+                   walk_scale=-1.0)
+
+    def test_walk_budget_formula(self, ba_graph, rng):
+        residue = np.zeros(ba_graph.n)
+        residue[7] = 0.1
+        acc = AccuracyParams(eps=0.5, delta=0.05, p_f=0.05)
+        outcome = remedy(ba_graph, residue, ALPHA, acc, rng)
+        assert outcome.n_r == acc.num_walks(0.1)
+        assert outcome.walks_used >= outcome.n_r
+
+    def test_mass_total_equals_r_sum(self, ba_graph, rng):
+        residue = np.zeros(ba_graph.n)
+        residue[[1, 5, 9]] = [0.02, 0.03, 0.05]
+        acc = AccuracyParams(eps=0.5, delta=0.02, p_f=0.02)
+        outcome = remedy(ba_graph, residue, ALPHA, acc, rng)
+        assert outcome.mass.sum() == pytest.approx(0.1)
+
+    def test_unbiased_against_exact(self):
+        g = generators.preferential_attachment(30, 2, seed=6)
+        solver = ExactSolver(g, ALPHA)
+        residue = np.zeros(g.n)
+        residue[3] = 0.3
+        residue[11] = 0.2
+        expected = 0.3 * solver.query(3).estimates \
+            + 0.2 * solver.query(11).estimates
+        acc = AccuracyParams(eps=0.5, delta=0.02, p_f=0.02)
+        total = np.zeros(g.n)
+        trials = 50
+        for t in range(trials):
+            outcome = remedy(g, residue, ALPHA, acc,
+                             np.random.default_rng(t))
+            total += outcome.mass
+        assert np.max(np.abs(total / trials - expected)) < 0.02

@@ -1,0 +1,244 @@
+"""End-to-end tests for ResAcc, its variants and MSRWR."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.inverse import ExactSolver
+from repro.core import (
+    AccuracyParams,
+    ResAccParams,
+    msrwr,
+    no_loop_resacc,
+    no_ofd_resacc,
+    no_sg_resacc,
+    resacc,
+)
+from repro.errors import ParameterError
+from repro.graph import from_edges, generators
+from repro.metrics.errors import guarantee_violation_rate
+
+ALPHA = 0.2
+
+
+class TestResAccCorrectness:
+    def test_estimates_form_probability_vector(self, ba_graph):
+        result = resacc(ba_graph, 0, seed=1)
+        assert result.estimates.min() >= 0
+        assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_meets_accuracy_contract(self, ba_graph, exact):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        truth = exact.query(5).estimates
+        result = resacc(ba_graph, 5, accuracy=accuracy, seed=3)
+        rate = guarantee_violation_rate(truth, result.estimates, accuracy)
+        assert rate == 0.0
+
+    def test_contract_across_sources_and_seeds(self, ba_graph, exact):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        violations = 0
+        trials = 0
+        for source in (0, 17, 101):
+            truth = exact.query(source).estimates
+            for seed in range(5):
+                result = resacc(ba_graph, source, accuracy=accuracy,
+                                seed=seed)
+                rate = guarantee_violation_rate(truth, result.estimates,
+                                                accuracy)
+                violations += rate > 0
+                trials += 1
+        # p_f = 1/n per node; across 15 runs we expect ~0 failures.
+        assert violations <= 1
+
+    def test_unbiasedness(self):
+        g = generators.preferential_attachment(40, 2, seed=2)
+        truth = ExactSolver(g, ALPHA).query(0).estimates
+        accuracy = AccuracyParams(eps=1.0, delta=0.05, p_f=0.1)
+        total = np.zeros(g.n)
+        trials = 60
+        for seed in range(trials):
+            total += resacc(g, 0, accuracy=accuracy, seed=seed).estimates
+        assert np.max(np.abs(total / trials - truth)) < 0.02
+
+    def test_walk_scale_zero_gives_pure_push_estimate(self, ba_graph):
+        result = resacc(ba_graph, 0, seed=1, walk_scale=0.0)
+        assert result.walks_used == 0
+        # Reserves alone underestimate by exactly the leftover residue.
+        assert result.estimates.sum() == pytest.approx(
+            1.0 - result.extras["r_sum"], abs=1e-9
+        )
+
+    def test_dangling_source(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 0)])
+        result = resacc(g, 3, seed=0)
+        expected = np.zeros(4)
+        expected[3] = 1.0
+        assert np.allclose(result.estimates, expected)
+
+    def test_deterministic_given_rng_seed(self, ba_graph):
+        a = resacc(ba_graph, 2, seed=9).estimates
+        b = resacc(ba_graph, 2, seed=9).estimates
+        assert np.array_equal(a, b)
+
+    def test_queue_and_frontier_agree_on_contract(self, ba_graph, exact):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        truth = exact.query(3).estimates
+        for method in ("frontier", "queue"):
+            params = ResAccParams(h=1, push_method=method)
+            result = resacc(ba_graph, 3, params=params, accuracy=accuracy,
+                            seed=4)
+            assert guarantee_violation_rate(
+                truth, result.estimates, accuracy) == 0.0
+
+
+class TestResAccDiagnostics:
+    def test_phase_times_recorded(self, ba_graph):
+        result = resacc(ba_graph, 0, seed=1)
+        assert set(result.phase_seconds) == {"hhopfwd", "omfwd", "remedy"}
+        assert result.total_seconds > 0
+
+    def test_extras_populated(self, ba_graph):
+        result = resacc(ba_graph, 0, seed=1)
+        for key in ("r1_source", "num_rounds", "scaler", "r_sum_hop",
+                    "r_sum", "n_r", "r_max_f"):
+            assert key in result.extras
+
+    def test_default_r_max_f_is_paper_value(self, ba_graph):
+        result = resacc(ba_graph, 0, seed=1)
+        assert result.extras["r_max_f"] == pytest.approx(
+            1.0 / (10 * ba_graph.m))
+
+    def test_top_k(self, ba_graph):
+        result = resacc(ba_graph, 0, seed=1)
+        nodes, values = result.top_k(5)
+        assert len(nodes) == 5
+        assert np.all(np.diff(values) <= 0)
+        assert values[0] == result.estimates.max()
+
+    def test_source_out_of_range(self, ba_graph):
+        with pytest.raises(ParameterError):
+            resacc(ba_graph, ba_graph.n, seed=0)
+
+
+class TestParams:
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            ResAccParams(alpha=0.0)
+        with pytest.raises(ParameterError):
+            ResAccParams(h=-1)
+        with pytest.raises(ParameterError):
+            ResAccParams(r_max_hop=0.0)
+        with pytest.raises(ParameterError):
+            ResAccParams(push_method="magic")
+
+    def test_invalid_accuracy(self):
+        with pytest.raises(ParameterError):
+            AccuracyParams(eps=0.0, delta=0.1, p_f=0.1)
+        with pytest.raises(ParameterError):
+            AccuracyParams(eps=0.5, delta=0.0, p_f=0.1)
+        with pytest.raises(ParameterError):
+            AccuracyParams(eps=0.5, delta=0.1, p_f=1.0)
+
+    def test_walk_constant_formula(self):
+        acc = AccuracyParams(eps=0.5, delta=0.01, p_f=0.01)
+        expected = (2 * 0.5 / 3 + 2) * np.log(2 / 0.01) / (0.25 * 0.01)
+        assert acc.walk_constant == pytest.approx(expected)
+        assert acc.num_walks(0.5) == int(np.ceil(0.5 * expected))
+
+    def test_paper_defaults(self):
+        acc = AccuracyParams.paper_defaults(1000)
+        assert acc.delta == pytest.approx(1 / 1000)
+        assert acc.p_f == pytest.approx(1 / 1000)
+        assert acc.eps == 0.5
+
+    def test_with_eps(self):
+        acc = AccuracyParams.paper_defaults(1000).with_eps(0.1)
+        assert acc.eps == 0.1
+        assert acc.delta == pytest.approx(1 / 1000)
+
+
+class TestVariants:
+    @pytest.mark.parametrize("variant", [no_loop_resacc, no_sg_resacc,
+                                         no_ofd_resacc])
+    def test_variants_meet_contract(self, ba_graph, exact, variant):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        truth = exact.query(7).estimates
+        params = ResAccParams(h=1, r_max_hop=1e-8)
+        result = variant(ba_graph, 7, params=params, accuracy=accuracy,
+                         seed=2)
+        assert guarantee_violation_rate(truth, result.estimates,
+                                        accuracy) == 0.0
+
+    def test_no_ofd_needs_more_walks(self, ba_graph):
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        params = ResAccParams(h=1, r_max_hop=1e-8)
+        base = resacc(ba_graph, 0, params=params, accuracy=accuracy, seed=1)
+        ablated = no_ofd_resacc(ba_graph, 0, params=params,
+                                accuracy=accuracy, seed=1)
+        assert ablated.walks_used > base.walks_used
+
+    def test_variant_names(self, ba_graph):
+        params = ResAccParams(h=1, r_max_hop=1e-6)
+        assert no_loop_resacc(ba_graph, 0, params=params,
+                              seed=0).algorithm == "no-loop-resacc"
+        assert no_sg_resacc(ba_graph, 0, params=params,
+                            seed=0).algorithm == "no-sg-resacc"
+        assert no_ofd_resacc(ba_graph, 0, params=params,
+                             seed=0).algorithm == "no-ofd-resacc"
+
+
+class TestMSRWR:
+    def test_matrix_shape_and_rows(self, ba_graph):
+        solver = lambda g, s: resacc(g, s, seed=s)   # noqa: E731
+        result = msrwr(ba_graph, [0, 5, 9], solver)
+        assert result.matrix.shape == (3, ba_graph.n)
+        single = resacc(ba_graph, 5, seed=5).estimates
+        assert np.array_equal(result.for_source(5), single)
+
+    def test_total_seconds(self, ba_graph):
+        solver = lambda g, s: resacc(g, s, seed=0)   # noqa: E731
+        result = msrwr(ba_graph, [0, 1], solver)
+        assert len(result.per_source_seconds) == 2
+        assert result.total_seconds > 0
+
+    def test_unknown_source_lookup(self, ba_graph):
+        solver = lambda g, s: resacc(g, s, seed=0)   # noqa: E731
+        result = msrwr(ba_graph, [0], solver)
+        with pytest.raises(ParameterError):
+            result.for_source(42)
+
+    def test_validation(self, ba_graph):
+        solver = lambda g, s: resacc(g, s, seed=0)   # noqa: E731
+        with pytest.raises(ParameterError):
+            msrwr(ba_graph, [], solver)
+        with pytest.raises(ParameterError):
+            msrwr(ba_graph, [ba_graph.n + 1], solver)
+
+    def test_keep_results(self, ba_graph):
+        solver = lambda g, s: resacc(g, s, seed=0)   # noqa: E731
+        result = msrwr(ba_graph, [0, 1], solver, keep_results=True)
+        assert len(result.results) == 2
+        assert result.results[0].algorithm == "resacc"
+
+
+class TestResultHelpers:
+    def test_support_and_nodes_above(self, ba_graph):
+        result = resacc(ba_graph, 0, seed=1)
+        threshold = 1.0 / ba_graph.n
+        above = result.nodes_above(threshold)
+        assert result.support(threshold) == above.size
+        values = result.estimates[above]
+        assert np.all(np.diff(values) <= 1e-15)
+        assert np.all(values > threshold)
+
+    def test_normalized_after_partial_walks(self, ba_graph):
+        partial = resacc(ba_graph, 0, seed=1, walk_scale=0.0)
+        assert partial.estimates.sum() < 1.0
+        full = partial.normalized()
+        assert full.estimates.sum() == pytest.approx(1.0)
+        assert "renormalized_from" in full.extras
+
+    def test_normalized_zero_vector_safe(self):
+        from repro.core.result import SSRWRResult
+
+        empty = SSRWRResult(source=0, estimates=np.zeros(3), alpha=0.2)
+        assert empty.normalized().estimates.sum() == 0.0

@@ -1,0 +1,61 @@
+"""Smoke tests: the example scripts must run end-to-end.
+
+Only the quick examples run here (the longer ones exercise the same code
+paths the integration tests already cover).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "top-10 nodes" in out
+    assert "max relative error" in out
+
+
+def test_community_detection_runs(capsys):
+    run_example("community_detection.py")
+    out = capsys.readouterr().out
+    assert "avg conductance" in out
+    assert "communities found" in out
+
+
+def test_compare_algorithms_runs_on_small_dataset(capsys):
+    run_example("compare_algorithms.py", argv=["web_stan"])
+    out = capsys.readouterr().out
+    assert "ResAcc" in out and "FORA" in out
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart.py", "recommendation.py", "community_detection.py",
+    "dynamic_graph.py", "compare_algorithms.py", "extensions.py",
+    "paper_figures.py", "query_service.py",
+])
+def test_examples_compile(name):
+    source = (EXAMPLES / name).read_text()
+    compile(source, name, "exec")
+
+
+def test_paper_figures_match_paper_numbers(capsys):
+    run_example("paper_figures.py")
+    out = capsys.readouterr().out
+    assert "0.512000" in out
+    assert "0.262144" in out
+    assert "v2=0.720" in out     # Fig 1(c): accumulated residue at v2
+    assert "v4=0.576" in out     # identical final state in both schedules

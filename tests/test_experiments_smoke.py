@@ -1,0 +1,41 @@
+"""Micro-scale smoke tests for every registered experiment.
+
+The benchmarks run the experiments at the fast configuration; these
+tests run them at a *micro* configuration (tiny graphs, one source, very
+relaxed delta) so that ``pytest tests/`` alone exercises every
+experiment code path.  Only structural properties are asserted --
+qualitative shape assertions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench import ALL_EXPERIMENTS, BenchConfig
+from repro.bench.report import Series, Table
+
+MICRO = BenchConfig(scale=0.06, num_sources=1, delta_scale=500.0,
+                    seed=0, fast=True)
+
+#: Experiments that are heavier even at micro scale get their own marks.
+SLOWER = {"fig14-15", "fig18-20", "fig23", "table4"}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_runs_and_produces_artifacts(name):
+    artifacts = ALL_EXPERIMENTS[name](MICRO)
+    assert artifacts, f"{name} produced no artifacts"
+    for artifact in artifacts:
+        assert isinstance(artifact, (Table, Series))
+        rendered = artifact.render()
+        assert artifact.title in rendered
+        if isinstance(artifact, Table):
+            assert artifact.rows, f"{name}: empty table {artifact.title}"
+        else:
+            assert artifact.lines, f"{name}: empty series {artifact.title}"
+
+
+def test_micro_config_is_cheap():
+    graph = __import__("repro.datasets", fromlist=["load"]).load(
+        "friendster", scale=MICRO.scale, seed=MICRO.seed
+    )
+    # The largest micro graph stays below a few thousand nodes.
+    assert graph.n < 3_000

@@ -1,0 +1,142 @@
+"""Failure-injection tests: corrupted inputs and adversarial conditions.
+
+The library's contract is that malformed state is rejected loudly at
+the boundary (GraphFormatError / ParameterError) and that resource
+budgets fail with ConvergenceError rather than hanging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AccuracyParams, resacc
+from repro.errors import ConvergenceError, GraphFormatError, ParameterError
+from repro.graph import CSRGraph, from_edges, load_npz, save_npz
+from repro.push import forward_push_loop, init_state
+from repro.walks.engine import walk_terminal_mass
+
+
+class TestCorruptedCSR:
+    def test_non_monotone_indptr(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(3, np.array([0, 2, 1, 3]), np.array([1, 2, 0]))
+
+    def test_indptr_not_spanning_indices(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(2, np.array([0, 1, 1]), np.array([1, 0]))
+
+    def test_wrong_indptr_length(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(5, np.array([0, 1]), np.array([1]))
+
+    def test_target_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(2, np.array([0, 1, 1]), np.array([7]))
+
+    def test_negative_target(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(2, np.array([0, 1, 1]), np.array([-1]))
+
+    def test_validate_false_trusts_caller(self):
+        # The escape hatch exists for internal use; it must not crash
+        # on construction (behaviour is then the caller's problem).
+        g = CSRGraph(2, np.array([0, 1, 2]), np.array([1, 0]),
+                     validate=False)
+        assert g.m == 2
+
+
+class TestCorruptedFiles:
+    def test_truncated_npz(self, tmp_path, ba_graph):
+        path = tmp_path / "graph.npz"
+        save_npz(ba_graph, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):  # zipfile/numpy error surface
+            load_npz(path)
+
+    def test_wrong_version_rejected(self, tmp_path, ba_graph):
+        path = tmp_path / "graph.npz"
+        save_npz(ba_graph, path)
+        with np.load(path) as data:
+            contents = {k: data[k] for k in data.files}
+        contents["version"] = np.int64(999)
+        np.savez_compressed(path, **contents)
+        with pytest.raises(GraphFormatError):
+            load_npz(path)
+
+    def test_npz_with_corrupted_arrays_rejected(self, tmp_path, ba_graph):
+        path = tmp_path / "graph.npz"
+        save_npz(ba_graph, path)
+        with np.load(path) as data:
+            contents = {k: data[k] for k in data.files}
+        contents["indices"] = contents["indices"][:-5]  # drop edges
+        np.savez_compressed(path, **contents)
+        with pytest.raises(GraphFormatError):
+            load_npz(path)
+
+
+class TestBudgetExhaustion:
+    def test_push_budget_raises_not_hangs(self, ba_graph):
+        reserve, residue = init_state(ba_graph, 0)
+        with pytest.raises(ConvergenceError):
+            forward_push_loop(ba_graph, reserve, residue, 0.2, 1e-14,
+                              max_pushes=10)
+
+    def test_walk_step_cap_raises(self, ba_graph):
+        class NeverStopRNG:
+            """Adversarial stream: the termination coin never fires."""
+
+            def random(self, size=None):
+                return np.full(size, 0.999) if size is not None else 0.999
+
+        with pytest.raises(ConvergenceError):
+            walk_terminal_mass(ba_graph, np.zeros(4, np.int64), 0.2,
+                               NeverStopRNG(), max_steps=50)
+
+    def test_power_iteration_budget(self, ba_graph):
+        from repro.baselines import power_iteration
+
+        with pytest.raises(ConvergenceError):
+            power_iteration(ba_graph, 0, tol=1e-15, max_iters=3)
+
+
+class TestDegenerateInputs:
+    def test_single_node_graph(self):
+        g = from_edges(1, [])
+        result = resacc(g, 0, accuracy=AccuracyParams(eps=0.5, delta=0.5,
+                                                      p_f=0.5), seed=0)
+        assert result.estimates[0] == pytest.approx(1.0)
+
+    def test_two_node_bounce(self):
+        g = from_edges(2, [(0, 1)], symmetrize=True)
+        result = resacc(g, 0, seed=0)
+        assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+        assert result.estimates[0] > result.estimates[1]
+
+    def test_disconnected_source_component(self):
+        g = from_edges(6, [(0, 1), (1, 0), (3, 4), (4, 5), (5, 3)])
+        result = resacc(g, 0, seed=0)
+        assert result.estimates[3:].sum() == 0.0
+
+    def test_all_dangling_graph(self):
+        g = from_edges(4, [])
+        result = resacc(g, 2, seed=0)
+        expected = np.zeros(4)
+        expected[2] = 1.0
+        assert np.allclose(result.estimates, expected)
+
+    def test_extreme_alpha_values(self, ba_graph):
+        from repro.core import ResAccParams
+
+        for alpha in (0.01, 0.99):
+            params = ResAccParams(alpha=alpha, h=1)
+            acc = AccuracyParams(eps=0.5, delta=0.05, p_f=0.1)
+            result = resacc(ba_graph, 0, params=params, accuracy=acc,
+                            seed=0)
+            assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_nan_weight_rejected(self):
+        from repro.weighted import from_weighted_edges
+
+        with pytest.raises(GraphFormatError):
+            # NaN fails the >= 0 check because the comparison is False.
+            from_weighted_edges(2, [(0, 1, float("nan"))])

@@ -1,0 +1,148 @@
+"""Tests for graph builders, serialization and mutation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    add_edges,
+    delete_edges,
+    delete_nodes,
+    from_adjacency,
+    from_edges,
+    graph_digest,
+    induced_subgraph,
+    load_npz,
+    read_edge_list,
+    rewire_random_edges,
+    save_npz,
+    write_edge_list,
+)
+
+
+class TestBuilders:
+    def test_from_adjacency_list(self):
+        g = from_adjacency([[1, 2], [2], []])
+        assert g.m == 3
+        assert g.has_edge(0, 2)
+
+    def test_from_adjacency_dict(self):
+        g = from_adjacency({0: [1], 2: [0]})
+        assert g.n == 3
+        assert g.has_edge(2, 0)
+
+    def test_networkx_roundtrip(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graph import from_networkx, to_networkx
+
+        src = nx.DiGraph([(0, 1), (1, 2), (2, 0)])
+        g, mapping = from_networkx(src)
+        assert g.m == 3
+        assert mapping == {0: 0, 1: 1, 2: 2}
+        back = to_networkx(g)
+        assert sorted(back.edges()) == sorted(src.edges())
+
+    def test_networkx_undirected_symmetrizes(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graph import from_networkx
+
+        g, _ = from_networkx(nx.Graph([(0, 1)]))
+        assert g.m == 2
+
+    def test_induced_subgraph(self, tiny_graph):
+        sub, mapping = induced_subgraph(tiny_graph, [0, 1, 2])
+        assert sub.n == 3
+        assert list(mapping) == [0, 1, 2]
+        # The 3-cycle survives; edges to 3/4 are cut.
+        assert sub.m == 3
+        assert sub.has_edge(2, 0)
+
+    def test_induced_subgraph_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            induced_subgraph(tiny_graph, [99])
+
+
+class TestIO:
+    def test_edge_list_roundtrip(self, tmp_path, ba_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(ba_graph, path)
+        loaded = read_edge_list(path, n=ba_graph.n)
+        assert loaded == ba_graph
+
+    def test_edge_list_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_edge_list_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_edge_list_non_integer(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_npz_roundtrip(self, tmp_path, web_graph):
+        path = tmp_path / "graph.npz"
+        save_npz(web_graph, path)
+        loaded = load_npz(path)
+        assert loaded == web_graph
+        assert loaded.dangling == web_graph.dangling
+
+    def test_digest_stable_and_distinguishing(self, ba_graph):
+        assert graph_digest(ba_graph) == graph_digest(ba_graph)
+        other = from_edges(ba_graph.n, list(ba_graph.edges())[:-1])
+        assert graph_digest(other) != graph_digest(ba_graph)
+
+
+class TestDynamic:
+    def test_delete_nodes_keeps_ids(self, tiny_graph):
+        g = delete_nodes(tiny_graph, [1])
+        assert g.n == tiny_graph.n
+        assert g.out_degree(1) == 0
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(2, 0)
+
+    def test_delete_nodes_relabel(self, tiny_graph):
+        g, survivors = delete_nodes(tiny_graph, [5], relabel=True)
+        assert g.n == 5
+        assert list(survivors) == [0, 1, 2, 3, 4]
+
+    def test_delete_edges(self, tiny_graph):
+        g = delete_edges(tiny_graph, [(0, 1), (9, 9)])
+        assert g.m == tiny_graph.m - 1
+        assert not g.has_edge(0, 1)
+
+    def test_add_edges(self, tiny_graph):
+        g = add_edges(tiny_graph, [(5, 0)])
+        assert g.has_edge(5, 0)
+        assert g.m == tiny_graph.m + 1
+
+    def test_add_edges_grow(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            add_edges(tiny_graph, [(0, 10)])
+        g = add_edges(tiny_graph, [(0, 10)], grow=True)
+        assert g.n == 11
+
+    def test_rewire_preserves_count_bound(self, ba_graph):
+        g = rewire_random_edges(ba_graph, 50, seed=3)
+        assert g.n == ba_graph.n
+        # Rewiring can only lose edges to dedup/self-loop removal.
+        assert g.m <= ba_graph.m
+        assert g.m >= ba_graph.m - 50
+
+    def test_delete_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            delete_nodes(tiny_graph, [42])
+
+
+def test_deterministic_rebuild(tiny_graph):
+    rebuilt = from_edges(tiny_graph.n, list(tiny_graph.edges()))
+    assert rebuilt == tiny_graph
+    assert np.array_equal(rebuilt.indptr, tiny_graph.indptr)

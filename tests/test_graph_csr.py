@@ -1,0 +1,118 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph, check_consistency, from_edges, graph_stats
+
+
+class TestConstruction:
+    def test_basic_edges(self):
+        g = from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.n == 3
+        assert g.m == 3
+        assert list(g.out_neighbors(0)) == [1, 2]
+        assert list(g.out_neighbors(1)) == [2]
+        assert list(g.out_neighbors(2)) == []
+
+    def test_duplicate_edges_removed(self):
+        g = from_edges(2, [(0, 1), (0, 1), (0, 1)])
+        assert g.m == 1
+
+    def test_self_loops_dropped_by_default(self):
+        g = from_edges(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.m == 1
+        assert g.has_edge(0, 1)
+
+    def test_self_loops_raise_when_requested(self):
+        with pytest.raises(GraphFormatError):
+            from_edges(2, [(0, 0)], drop_self_loops=False)
+
+    def test_out_of_range_endpoint(self):
+        with pytest.raises(GraphFormatError):
+            from_edges(2, [(0, 5)])
+
+    def test_symmetrize(self):
+        g = from_edges(3, [(0, 1), (1, 2)], symmetrize=True)
+        assert g.m == 4
+        assert g.has_edge(1, 0)
+        assert g.has_edge(2, 1)
+
+    def test_empty_graph(self):
+        g = from_edges(4, [])
+        assert g.n == 4
+        assert g.m == 0
+        assert list(g.dangling_nodes) == [0, 1, 2, 3]
+
+    def test_invalid_dangling_policy(self):
+        with pytest.raises(GraphFormatError):
+            from_edges(2, [(0, 1)], dangling="bogus")
+
+    def test_direct_constructor_validates_indptr(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(2, np.array([0, 2, 1]), np.array([1, 0]))
+
+    def test_direct_constructor_rejects_self_loop(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(2, np.array([0, 1, 2]), np.array([0, 1]))
+
+
+class TestAccessors:
+    def test_degrees(self, tiny_graph):
+        assert list(tiny_graph.out_degrees) == [1, 2, 2, 1, 1, 0]
+        assert tiny_graph.out_degree(1) == 2
+        assert list(tiny_graph.dangling_nodes) == [5]
+
+    def test_in_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.in_neighbors(4)) == [2, 3]
+        assert sorted(tiny_graph.in_neighbors(0)) == [2]
+
+    def test_in_degrees(self, tiny_graph):
+        assert int(tiny_graph.in_degrees.sum()) == tiny_graph.m
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert not tiny_graph.has_edge(1, 0)
+
+    def test_edges_iteration_matches_edge_array(self, tiny_graph):
+        listed = list(tiny_graph.edges())
+        array = [tuple(row) for row in tiny_graph.edge_array()]
+        assert listed == array
+        assert len(listed) == tiny_graph.m
+
+
+class TestReverse:
+    def test_reverse_roundtrip(self, ba_graph):
+        rev = ba_graph.reverse()
+        assert rev.m == ba_graph.m
+        double = rev.reverse()
+        fwd = sorted(ba_graph.edges())
+        assert sorted(double.edges()) == fwd
+
+    def test_consistency_check(self, ba_graph, web_graph, tiny_graph):
+        for g in (ba_graph, web_graph, tiny_graph):
+            assert check_consistency(g)
+
+    def test_with_dangling_shares_arrays(self, tiny_graph):
+        restart = tiny_graph.with_dangling("restart")
+        assert restart.dangling == "restart"
+        assert restart.indptr is tiny_graph.indptr
+        assert restart.m == tiny_graph.m
+
+
+class TestStats:
+    def test_stats(self, tiny_graph):
+        stats = graph_stats(tiny_graph)
+        assert stats.n == 6
+        assert stats.m == 7
+        assert stats.num_dangling == 1
+        assert stats.max_out_degree == 2
+        assert stats.density == pytest.approx(7 / 6)
+
+    def test_equality(self):
+        a = from_edges(3, [(0, 1), (1, 2)])
+        b = from_edges(3, [(0, 1), (1, 2)])
+        c = from_edges(3, [(0, 1)])
+        assert a == b
+        assert a != c

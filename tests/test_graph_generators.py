@@ -1,0 +1,155 @@
+"""Tests for the synthetic graph generators and dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import catalog
+from repro.errors import ParameterError
+from repro.graph import generators, graph_stats, hop_structure
+
+
+class TestDeterministicFixtures:
+    def test_ring(self):
+        g = generators.ring(5)
+        assert g.m == 5
+        assert g.has_edge(4, 0)
+        assert all(d == 1 for d in g.out_degrees)
+
+    def test_path_has_dangling_tail(self):
+        g = generators.path(4)
+        assert g.m == 3
+        assert list(g.dangling_nodes) == [3]
+
+    def test_star_symmetric(self):
+        g = generators.star(5)
+        assert g.out_degree(0) == 4
+        assert all(g.out_degree(v) == 1 for v in range(1, 5))
+
+    def test_complete(self):
+        g = generators.complete(4)
+        assert g.m == 12
+        assert not g.has_edge(2, 2)
+
+    def test_grid(self):
+        g = generators.grid(3, 3)
+        # Interior node 4 touches 4 neighbours in both directions.
+        assert g.out_degree(4) == 4
+        assert g.m == 2 * (2 * 3 * 2)  # 12 undirected edges, both ways
+
+    def test_grid_torus(self):
+        g = generators.grid(3, 3, torus=True)
+        assert all(d == 4 for d in g.out_degrees)
+
+    def test_paper_figure1(self):
+        g = generators.paper_figure1_graph()
+        assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 3), (2, 1)]
+
+    def test_paper_figure3(self):
+        g = generators.paper_figure3_graph()
+        assert sorted(g.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            generators.ring(1)
+        with pytest.raises(ParameterError):
+            generators.preferential_attachment(5, 10)
+        with pytest.raises(ParameterError):
+            generators.stochastic_block_model([3], p_in=0.1, p_out=0.5)
+
+
+class TestRandomGenerators:
+    def test_preferential_attachment_density_and_symmetry(self):
+        g = generators.preferential_attachment(400, 4, seed=2)
+        stats = graph_stats(g)
+        assert 6 <= stats.density <= 8.5  # ~2 * edges_per_node
+        for v in range(0, 400, 37):
+            for u in g.out_neighbors(v):
+                assert g.has_edge(int(u), v)
+
+    def test_preferential_attachment_heavy_tail(self):
+        g = generators.preferential_attachment(500, 3, seed=5)
+        degrees = np.sort(g.out_degrees)[::-1]
+        assert degrees[0] > 4 * degrees[len(degrees) // 2]
+
+    def test_preferential_attachment_deterministic(self):
+        a = generators.preferential_attachment(100, 3, seed=9)
+        b = generators.preferential_attachment(100, 3, seed=9)
+        assert a == b
+        c = generators.preferential_attachment(100, 3, seed=10)
+        assert a != c
+
+    def test_directed_power_law_density(self):
+        g = generators.directed_power_law(500, 8, seed=3)
+        stats = graph_stats(g)
+        assert 5 <= stats.density <= 9  # dedup eats a little
+
+    def test_directed_power_law_hubs_get_in_edges(self):
+        g = generators.directed_power_law(500, 8, seed=3)
+        in_deg = g.in_degrees
+        assert in_deg[:10].mean() > 5 * max(in_deg[250:].mean(), 0.1)
+
+    def test_erdos_renyi(self):
+        g = generators.erdos_renyi(300, 4, seed=1)
+        stats = graph_stats(g)
+        assert 3 <= stats.density <= 5
+
+    def test_sbm_block_structure(self):
+        sizes = [50, 50, 50]
+        g = generators.stochastic_block_model(sizes, 0.2, 0.005, seed=4)
+        labels = generators.block_membership(sizes)
+        edges = g.edge_array()
+        same = labels[edges[:, 0]] == labels[edges[:, 1]]
+        assert same.mean() > 0.8
+
+    def test_block_membership(self):
+        labels = generators.block_membership([2, 3])
+        assert list(labels) == [0, 0, 1, 1, 1]
+
+
+class TestCatalog:
+    def test_names_and_specs(self):
+        assert "twitter" in catalog.names()
+        entry = catalog.spec("twitter")
+        assert entry.h == 2
+        assert entry.paper_m == 1_500_000_000
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ParameterError):
+            catalog.spec("instagram")
+        with pytest.raises(ParameterError):
+            catalog.load("instagram")
+
+    def test_load_density_matches_spec(self):
+        for name in ("dblp", "web_stan"):
+            g = catalog.load(name, scale=0.3)
+            entry = catalog.spec(name)
+            stats = graph_stats(g)
+            assert stats.density == pytest.approx(entry.density, rel=0.35)
+
+    def test_load_memoized(self):
+        a = catalog.load("dblp", scale=0.25)
+        b = catalog.load("dblp", scale=0.25)
+        assert a is b
+
+    def test_scale_changes_size(self):
+        small = catalog.load("dblp", scale=0.1)
+        big = catalog.load("dblp", scale=0.3)
+        assert big.n > small.n
+
+    def test_bench_h_and_default_h(self):
+        assert catalog.default_h("dblp") == 3
+        assert catalog.bench_h("dblp") == 1
+
+    def test_facebook_blocks(self):
+        g = catalog.load("facebook", scale=1.0)
+        assert g.n >= 700
+        assert graph_stats(g).density > 2
+
+
+def test_hop_ball_fraction_documented_assumption():
+    """The bench_h docstring claims a 1-hop ball covers a few percent."""
+    g = catalog.load("pokec", scale=0.5)
+    source = int(np.argmax(g.out_degrees < g.out_degrees.mean()))
+    hops = hop_structure(g, source, 2)
+    fraction = hops.hop_set(1).size / g.n
+    assert fraction < 0.25

@@ -1,0 +1,161 @@
+"""Tests for HubPPR and the visit-count walk estimator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HubPPRIndex
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.walks import walk_terminal_mass, walk_visit_mass
+
+ALPHA = 0.2
+
+
+class TestHubPPR:
+    @pytest.fixture(scope="class")
+    def index(self, request):
+        graph = generators.preferential_attachment(200, 3, seed=11)
+        return HubPPRIndex(graph, num_hubs=8, num_walks=3_000,
+                           r_max_b=1e-5, seed=1)
+
+    @pytest.fixture(scope="class")
+    def exact(self, index):
+        from repro.baselines import ExactSolver
+
+        return ExactSolver(index.graph, ALPHA)
+
+    def test_hub_pair_accurate(self, index, exact):
+        hub_s, hub_t = index.hubs[0], index.hubs[1]
+        truth = exact.query(hub_s).estimates[hub_t]
+        estimate, hits = index.query_pair(hub_s, hub_t)
+        assert hits == {"forward_hub": True, "backward_hub": True}
+        assert estimate == pytest.approx(truth, abs=0.01)
+
+    def test_non_hub_pair_accurate(self, index, exact):
+        non_hubs = [v for v in range(index.graph.n)
+                    if v not in set(index.hubs)]
+        s, t = non_hubs[0], index.hubs[0]
+        truth = exact.query(s).estimates[t]
+        estimate, hits = index.query_pair(s, t)
+        assert not hits["forward_hub"]
+        assert hits["backward_hub"]
+        assert estimate == pytest.approx(truth, abs=0.02)
+
+    def test_hubs_are_high_degree(self, index):
+        degrees = index.graph.out_degrees + index.graph.in_degrees
+        hub_min = min(int(degrees[h]) for h in index.hubs)
+        non_hub_max = max(
+            int(degrees[v]) for v in range(index.graph.n)
+            if v not in set(index.hubs)
+        )
+        assert hub_min >= non_hub_max
+
+    def test_index_metadata(self, index):
+        assert index.preprocess_seconds > 0
+        assert index.index_bytes == len(index.hubs) * 3 * index.graph.n * 8
+
+    def test_ssrwr_adaptation(self, index, exact):
+        truth = exact.query(0).estimates
+        result = index.query(0, targets=range(25))
+        assert np.abs(result.estimates[:25] - truth[:25]).max() < 0.03
+
+    def test_validation(self, index):
+        with pytest.raises(ParameterError):
+            index.query_pair(-1, 0)
+        with pytest.raises(ParameterError):
+            HubPPRIndex(index.graph, num_hubs=-1)
+
+
+class TestVisitEstimator:
+    def test_unbiased(self, ba_graph, exact):
+        truth = exact.query(0).estimates
+        starts = np.zeros(40_000, dtype=np.int64)
+        mass = walk_visit_mass(ba_graph, starts,
+                               ALPHA, np.random.default_rng(0))
+        empirical = mass / starts.size
+        assert np.max(np.abs(empirical - truth)) < 0.01
+
+    def test_unbiased_with_dangling(self, exact):
+        from repro.graph import from_edges
+        from repro.baselines import ExactSolver
+
+        g = from_edges(5, [(0, 1), (1, 2), (2, 0), (1, 3), (3, 4)])
+        truth = ExactSolver(g, ALPHA).query(0).estimates
+        starts = np.zeros(40_000, dtype=np.int64)
+        mass = walk_visit_mass(g, starts, ALPHA, np.random.default_rng(1))
+        assert np.max(np.abs(mass / starts.size - truth)) < 0.01
+
+    def test_lower_variance_than_terminal(self, ba_graph, exact):
+        """The whole point: per-walk variance at low-pi nodes shrinks."""
+        truth = exact.query(0).estimates
+        # Pick a low-probability but reachable node.
+        reachable = truth > 0
+        target = int(np.argsort(truth + (~reachable))[5])
+        batches = 40
+        per_batch = 500
+        terminal_means, visit_means = [], []
+        for b in range(batches):
+            rng = np.random.default_rng(b)
+            starts = np.zeros(per_batch, dtype=np.int64)
+            terminal_means.append(
+                walk_terminal_mass(ba_graph, starts, ALPHA,
+                                   rng)[target] / per_batch)
+            rng = np.random.default_rng(b)
+            visit_means.append(
+                walk_visit_mass(ba_graph, starts, ALPHA,
+                                rng)[target] / per_batch)
+        assert np.var(visit_means) < np.var(terminal_means)
+
+    def test_weights(self, tiny_graph):
+        starts = np.array([5, 5])
+        weights = np.array([0.3, 0.7])
+        mass = walk_visit_mass(tiny_graph, starts, ALPHA,
+                               np.random.default_rng(0), weights=weights)
+        assert mass[5] == pytest.approx(1.0)
+
+    def test_restart_policy_rejected(self, tiny_graph):
+        g = tiny_graph.with_dangling("restart")
+        with pytest.raises(ParameterError):
+            walk_visit_mass(g, np.array([0]), ALPHA,
+                            np.random.default_rng(0))
+
+
+class TestVisitEstimatorIntegration:
+    def test_resacc_visits_estimator_unbiased(self, ba_graph, exact):
+        from repro.core import AccuracyParams, resacc
+
+        truth = exact.query(0).estimates
+        accuracy = AccuracyParams(eps=1.0, delta=0.05, p_f=0.2)
+        total = np.zeros(ba_graph.n)
+        trials = 30
+        for seed in range(trials):
+            total += resacc(ba_graph, 0, accuracy=accuracy, seed=seed,
+                            estimator="visits").estimates
+        assert np.max(np.abs(total / trials - truth)) < 0.02
+
+    def test_visits_estimator_tighter_at_same_budget(self, ba_graph,
+                                                     exact):
+        from repro.core import AccuracyParams, resacc
+        from repro.metrics import mean_abs_error
+
+        truth = exact.query(0).estimates
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        errors = {"terminal": [], "visits": []}
+        for estimator in errors:
+            for seed in range(5):
+                result = resacc(ba_graph, 0, accuracy=accuracy, seed=seed,
+                                estimator=estimator, walk_scale=0.2)
+                errors[estimator].append(
+                    mean_abs_error(truth, result.estimates))
+        assert np.mean(errors["visits"]) <= np.mean(errors["terminal"])
+
+    def test_invalid_estimator_rejected(self, ba_graph):
+        from repro.walks import residue_weighted_walks
+        from repro.errors import ParameterError
+
+        residue = np.zeros(ba_graph.n)
+        residue[0] = 0.5
+        with pytest.raises(ParameterError):
+            residue_weighted_walks(ba_graph, residue, 10, ALPHA,
+                                   np.random.default_rng(0),
+                                   estimator="psychic")

@@ -1,0 +1,152 @@
+"""Cross-module integration tests.
+
+Each test exercises a full pipeline the way a downstream user would:
+dataset -> solver -> metrics, or dataset -> experiment -> report.
+"""
+
+import numpy as np
+import pytest
+
+from repro import datasets, msrwr, resacc
+from repro.baselines import (
+    ExactSolver,
+    ForaPlusIndex,
+    TPAIndex,
+    fora,
+    monte_carlo,
+    power_iteration,
+)
+from repro.bench import BenchConfig
+from repro.bench.appendix import run_fig3, run_fig24, run_table5
+from repro.bench.experiments import run_table2, run_table7
+from repro.core import AccuracyParams, ResAccParams
+from repro.graph import delete_nodes
+from repro.metrics import abs_error_at_kth, ndcg_at_k
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return datasets.load("dblp", scale=0.2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def dblp_truth(dblp):
+    return ExactSolver(dblp).query(0).estimates
+
+
+class TestQuickstartPipeline:
+    def test_resacc_on_catalog_graph(self, dblp, dblp_truth):
+        accuracy = AccuracyParams.paper_defaults(dblp.n)
+        result = resacc(dblp, 0, accuracy=accuracy, seed=1)
+        errors = abs_error_at_kth(dblp_truth, result.estimates,
+                                  ks=(1, 10, 100))
+        assert errors[1] < 0.05
+        assert ndcg_at_k(dblp_truth, result.estimates, 100) > 0.95
+
+    def test_all_solvers_agree_on_top_node(self, dblp, dblp_truth):
+        top_true = int(np.argmax(dblp_truth))
+        accuracy = AccuracyParams.paper_defaults(dblp.n)
+        for result in (
+            resacc(dblp, 0, accuracy=accuracy, seed=2),
+            fora(dblp, 0, accuracy=accuracy, seed=2),
+            monte_carlo(dblp, 0, accuracy=accuracy, seed=2),
+            power_iteration(dblp, 0),
+        ):
+            assert int(np.argmax(result.estimates)) == top_true
+
+    def test_msrwr_over_catalog(self, dblp):
+        accuracy = AccuracyParams.paper_defaults(dblp.n)
+        solver = lambda g, s: resacc(g, s, accuracy=accuracy,  # noqa: E731
+                                     seed=s)
+        result = msrwr(dblp, [0, 3, 9], solver)
+        assert result.matrix.shape == (3, dblp.n)
+        row_sums = result.matrix.sum(axis=1)
+        assert np.allclose(row_sums, 1.0, atol=1e-9)
+
+
+class TestIndexLifecycles:
+    def test_foraplus_survives_graph_update(self, dblp):
+        accuracy = AccuracyParams.paper_defaults(dblp.n)
+        index = ForaPlusIndex(dblp, accuracy=accuracy, seed=0)
+        before = index.query(0).estimates
+        updated = delete_nodes(dblp, [dblp.n - 1])
+        rebuilt = ForaPlusIndex(updated, accuracy=accuracy, seed=0)
+        after = rebuilt.query(0).estimates
+        # Both are valid distributions on their own graphs.
+        assert before.sum() == pytest.approx(1.0, abs=0.02)
+        assert after.sum() == pytest.approx(1.0, abs=0.02)
+
+    def test_tpa_index_reused_across_sources(self, dblp):
+        index = TPAIndex(dblp)
+        for source in (0, 5, 11):
+            result = index.query(source)
+            assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestExperimentEndToEnd:
+    @pytest.fixture
+    def cfg(self):
+        return BenchConfig(scale=0.15, num_sources=2, delta_scale=50.0,
+                           fast=True)
+
+    def test_table2(self, cfg):
+        [table] = run_table2(cfg)
+        assert len(table.rows) == 7
+        assert table.headers[0] == "dataset"
+
+    def test_table7_percentages_sum(self, cfg):
+        [table] = run_table7(cfg)
+        for row in table.rows:
+            assert sum(row[-3:]) == pytest.approx(100.0, abs=0.5)
+
+    def test_fig3_matches_paper_numbers(self):
+        series, closed_form = run_fig3()
+        line = series.lines["residue at s after round"]
+        assert line[0] == pytest.approx(0.512)
+        assert line[1] == pytest.approx(0.262144)
+
+    def test_fig24_has_all_variants(self, cfg):
+        [table] = run_fig24(cfg)
+        assert table.headers == ["dataset", "ResAcc", "No-Loop", "No-SG",
+                                 "No-OFD"]
+        assert len(table.rows) == 3
+
+    def test_table5_ssrwr_helps(self, cfg):
+        [table] = run_table5(cfg)
+        # Rows alternate with/without; SSRWR ordering should not be much
+        # worse than BFS ordering on either dataset.
+        values = table.column("avg conductance")
+        for with_ssrwr, without in zip(values[::2], values[1::2]):
+            assert with_ssrwr <= without * 1.5 + 0.05
+
+
+class TestDanglingPolicyConsistency:
+    def test_absorb_and_restart_disagree_when_dangling_exists(self):
+        from repro.graph import generators
+
+        g = generators.path(5)
+        absorb = power_iteration(g, 0).estimates
+        restart = power_iteration(g.with_dangling("restart"), 0).estimates
+        assert not np.allclose(absorb, restart)
+
+    def test_policies_agree_without_dangling(self):
+        from repro.graph import generators
+
+        g = generators.ring(7)
+        absorb = power_iteration(g, 0).estimates
+        restart = power_iteration(g.with_dangling("restart"), 0).estimates
+        assert np.allclose(absorb, restart, atol=1e-10)
+
+    def test_resacc_restart_policy_end_to_end(self):
+        from repro.graph import generators
+
+        g = generators.directed_power_law(150, 4, seed=2)
+        g_restart = g.with_dangling("restart")
+        truth = power_iteration(g_restart, 0, tol=1e-13).estimates
+        accuracy = AccuracyParams.paper_defaults(g.n)
+        result = resacc(g_restart, 0, accuracy=accuracy,
+                        params=ResAccParams(h=1), seed=3)
+        from repro.metrics.errors import guarantee_violation_rate
+
+        assert guarantee_violation_rate(truth, result.estimates,
+                                        accuracy) == 0.0

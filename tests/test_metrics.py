@@ -1,0 +1,139 @@
+"""Tests for the accuracy, ranking and distribution metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import AccuracyParams
+from repro.errors import ParameterError
+from repro.metrics import (
+    abs_error_at_kth,
+    boxplot_summary,
+    dcg,
+    error_bar_summary,
+    guarantee_satisfied,
+    guarantee_violation_rate,
+    kendall_tau_top_k,
+    max_abs_error,
+    max_relative_error,
+    mean_abs_error,
+    ndcg_at_k,
+    precision_at_k,
+)
+
+
+class TestErrorMetrics:
+    def test_abs_error_at_kth(self):
+        truth = np.array([0.5, 0.3, 0.15, 0.05])
+        est = np.array([0.5, 0.25, 0.15, 0.10])
+        errors = abs_error_at_kth(truth, est, ks=(1, 2, 3, 4))
+        assert errors[1] == pytest.approx(0.0)
+        assert errors[2] == pytest.approx(0.05)
+        assert errors[3] == pytest.approx(0.0)
+        assert errors[4] == pytest.approx(0.05)
+
+    def test_abs_error_k_clamped(self):
+        truth = np.array([0.6, 0.4])
+        errors = abs_error_at_kth(truth, truth, ks=(100,))
+        assert errors[100] == 0.0
+
+    def test_abs_error_invalid_k(self):
+        with pytest.raises(ParameterError):
+            abs_error_at_kth(np.ones(3), np.ones(3), ks=(0,))
+
+    def test_mean_and_max(self):
+        truth = np.array([0.5, 0.5])
+        est = np.array([0.4, 0.5])
+        assert mean_abs_error(truth, est) == pytest.approx(0.05)
+        assert max_abs_error(truth, est) == pytest.approx(0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            mean_abs_error(np.ones(3), np.ones(4))
+
+    def test_max_relative_error_ignores_insignificant(self):
+        truth = np.array([0.5, 0.001])
+        est = np.array([0.5, 0.5])  # wildly wrong but below delta
+        assert max_relative_error(truth, est, delta=0.01) == 0.0
+
+    def test_guarantee_helpers(self):
+        acc = AccuracyParams(eps=0.5, delta=0.01, p_f=0.01)
+        truth = np.array([0.6, 0.4])
+        good = np.array([0.5, 0.5])
+        bad = np.array([0.05, 0.95])
+        assert guarantee_satisfied(truth, good, acc)
+        assert not guarantee_satisfied(truth, bad, acc)
+        assert guarantee_violation_rate(truth, bad, acc) == 1.0
+        assert guarantee_violation_rate(truth, good, acc) == 0.0
+
+    def test_violation_rate_empty_significant_set(self):
+        acc = AccuracyParams(eps=0.5, delta=0.99, p_f=0.01)
+        assert guarantee_violation_rate(
+            np.array([0.5, 0.5]), np.array([0.0, 0.0]), acc) == 0.0
+
+
+class TestRankingMetrics:
+    def test_dcg_simple(self):
+        assert dcg([1.0]) == pytest.approx(1.0)
+        assert dcg([1.0, 1.0]) == pytest.approx(1.0 + 1.0 / np.log2(3))
+        assert dcg([]) == 0.0
+
+    def test_perfect_ranking_is_one(self, rng):
+        truth = rng.random(50)
+        assert ndcg_at_k(truth, truth * 3.0, 10) == pytest.approx(1.0)
+
+    def test_ndcg_in_unit_interval(self, rng):
+        truth = rng.random(50)
+        est = rng.random(50)
+        value = ndcg_at_k(truth, est, 20)
+        assert 0.0 <= value <= 1.0
+
+    def test_bad_ranking_below_one(self):
+        truth = np.array([1.0, 0.5, 0.25, 0.0])
+        worst = -truth
+        assert ndcg_at_k(truth, worst, 4) < 1.0
+
+    def test_zero_truth_vacuous(self):
+        assert ndcg_at_k(np.zeros(5), np.ones(5), 3) == 1.0
+
+    def test_ndcg_validation(self):
+        with pytest.raises(ParameterError):
+            ndcg_at_k(np.ones(3), np.ones(3), 0)
+        with pytest.raises(ParameterError):
+            ndcg_at_k(np.ones(3), np.ones(4), 2)
+
+    def test_precision(self):
+        truth = np.array([0.9, 0.8, 0.1, 0.0])
+        est = np.array([0.9, 0.0, 0.8, 0.1])
+        assert precision_at_k(truth, truth, 2) == 1.0
+        assert precision_at_k(truth, est, 2) == pytest.approx(0.5)
+
+    def test_kendall_tau(self):
+        truth = np.array([0.9, 0.5, 0.3, 0.1])
+        assert kendall_tau_top_k(truth, truth, 4) == 1.0
+        assert kendall_tau_top_k(truth, -truth, 4) == -1.0
+        assert kendall_tau_top_k(truth, np.zeros(4), 4) == 1.0  # all ties
+
+
+class TestDistributionSummaries:
+    def test_boxplot(self):
+        summary = boxplot_summary([1, 2, 3, 4, 5])
+        assert summary.minimum == 1
+        assert summary.median == 3
+        assert summary.maximum == 5
+        assert summary.iqr == pytest.approx(2.0)
+        assert len(summary.as_row()) == 5
+
+    def test_error_bar(self):
+        summary = error_bar_summary([2.0, 4.0])
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.std == pytest.approx(1.0)
+
+    def test_empty_sample(self):
+        with pytest.raises(ParameterError):
+            boxplot_summary([])
+        with pytest.raises(ParameterError):
+            error_bar_summary([])
+
+    def test_non_finite_sample(self):
+        with pytest.raises(ParameterError):
+            boxplot_summary([1.0, float("nan")])

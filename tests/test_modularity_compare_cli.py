@@ -1,0 +1,124 @@
+"""Tests for modularity, run comparison, and the new CLI subcommands."""
+
+import numpy as np
+import pytest
+
+from repro.bench.compare import compare_documents, compare_files
+from repro.bench.export import export_json
+from repro.bench.report import Table
+from repro.cli import main
+from repro.community import modularity
+from repro.errors import ParameterError
+from repro.graph import from_edges, generators
+
+
+@pytest.fixture
+def two_cliques():
+    edges = []
+    for base in (0, 6):
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    edges.append((base + i, base + j))
+    edges += [(0, 6), (6, 0)]
+    return from_edges(12, edges)
+
+
+class TestModularity:
+    def test_planted_partition_high(self, two_cliques):
+        q = modularity(two_cliques, [range(6), range(6, 12)])
+        assert q > 0.45
+
+    def test_single_community_zero(self, two_cliques):
+        q = modularity(two_cliques, [range(12)])
+        assert q == pytest.approx(0.0, abs=1e-12)
+
+    def test_bad_partition_worse(self, two_cliques):
+        good = modularity(two_cliques, [range(6), range(6, 12)])
+        bad = modularity(two_cliques, [range(0, 12, 2), range(1, 12, 2)])
+        assert bad < good
+
+    def test_partial_coverage_allowed(self, two_cliques):
+        q = modularity(two_cliques, [range(6)])
+        assert -1.0 <= q <= 1.0
+
+    def test_sbm_recovery_scores_high(self):
+        from repro.graph.generators import block_membership
+
+        sizes = [40, 40, 40]
+        g = generators.stochastic_block_model(sizes, 0.25, 0.005, seed=1)
+        labels = block_membership(sizes)
+        communities = [np.flatnonzero(labels == c) for c in range(3)]
+        assert modularity(g, communities) > 0.5
+
+    def test_validation(self, two_cliques):
+        with pytest.raises(ParameterError):
+            modularity(two_cliques, [])
+        with pytest.raises(ParameterError):
+            modularity(two_cliques, [[99]])
+        with pytest.raises(ParameterError):
+            modularity(from_edges(3, []), [range(3)])
+
+
+def make_doc(values):
+    table = Table(title="Table X -- avg query time (seconds)",
+                  headers=["dataset", "algo"])
+    for name, value in values.items():
+        table.add_row(name, value)
+    return {"experiment": "x", "artifacts": [
+        __import__("repro.bench.export", fromlist=["artifact_to_dict"])
+        .artifact_to_dict(table)
+    ]}
+
+
+class TestCompare:
+    def test_ratio_and_flags(self):
+        base = make_doc({"dblp": 1.0, "lj": 2.0})
+        cand = make_doc({"dblp": 2.0, "lj": 2.0})
+        [table] = compare_documents(base, cand)
+        rows = {row[0]: row for row in table.rows}
+        assert rows["dblp"][4] == pytest.approx(2.0)
+        assert rows["dblp"][5] == "slower"
+        assert rows["lj"][4] == pytest.approx(1.0)
+        assert rows["lj"][5] == ""
+
+    def test_faster_flag(self):
+        base = make_doc({"dblp": 2.0})
+        cand = make_doc({"dblp": 1.0})
+        [table] = compare_documents(base, cand)
+        assert table.rows[0][5] == "faster"
+
+    def test_no_shared_artifacts(self):
+        base = make_doc({"a": 1.0})
+        cand = {"experiment": "y", "artifacts": []}
+        with pytest.raises(ParameterError):
+            compare_documents(base, cand)
+
+    def test_file_roundtrip(self, tmp_path):
+        table = Table(title="T", headers=["name", "seconds"])
+        table.add_row("x", 1.0)
+        a = export_json([table], tmp_path / "a.json")
+        table2 = Table(title="T", headers=["name", "seconds"])
+        table2.add_row("x", 3.0)
+        b = export_json([table2], tmp_path / "b.json")
+        [comparison] = compare_files(a, b)
+        assert comparison.rows[0][4] == pytest.approx(3.0)
+
+
+class TestCLISubcommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "twitter" in out
+        assert "friendster" in out
+
+    def test_compare_subcommand(self, tmp_path, capsys):
+        table = Table(title="T -- seconds", headers=["name", "seconds"])
+        table.add_row("x", 1.0)
+        a = export_json([table], tmp_path / "a.json")
+        table.rows[0][1] = 4.0
+        b = export_json([table], tmp_path / "b.json")
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "compare: T -- seconds" in out
+        assert "slower" in out

@@ -1,0 +1,232 @@
+"""Property-based tests for the extension subsystems (weighted, PPR,
+SCC, builder)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ppr import exact_ppr, normalize_preference
+from repro.graph import (
+    GraphBuilder,
+    from_edges,
+    strongly_connected_labels,
+    weakly_connected_labels,
+)
+from repro.weighted import (
+    from_weighted_edges,
+    weighted_forward_push,
+    weighted_init_state,
+    weighted_power_iteration,
+)
+
+ALPHA = 0.2
+
+common = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def unweighted_graphs(draw, min_n=2, max_n=30):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    num_edges = draw(st.integers(min_value=0, max_value=3 * n))
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=num_edges, max_size=num_edges,
+    ))
+    return from_edges(n, edges)
+
+
+@st.composite
+def weighted_graphs(draw, min_n=2, max_n=25):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    num_edges = draw(st.integers(min_value=0, max_value=3 * n))
+    triples = draw(st.lists(
+        st.tuples(
+            st.integers(0, n - 1),
+            st.integers(0, n - 1),
+            st.floats(min_value=0.01, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        min_size=num_edges, max_size=num_edges,
+    ))
+    return from_weighted_edges(n, triples)
+
+
+# ----------------------------------------------------------------------
+# Weighted kernels
+# ----------------------------------------------------------------------
+@common
+@given(weighted_graphs(), st.integers(0, 10_000))
+def test_weighted_push_conserves_mass(wg, seed):
+    source = seed % wg.n
+    reserve, residue = weighted_init_state(wg, source)
+    weighted_forward_push(wg, reserve, residue, ALPHA, 1e-4)
+    assert reserve.sum() + residue.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(reserve >= 0) and np.all(residue >= -1e-15)
+
+
+@common
+@given(weighted_graphs(max_n=15), st.integers(0, 10_000))
+def test_weighted_power_is_distribution(wg, seed):
+    source = seed % wg.n
+    result = weighted_power_iteration(wg, source, tol=1e-12)
+    assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+    assert result.estimates.min() >= 0
+
+
+@common
+@given(weighted_graphs(max_n=15), st.integers(0, 10_000))
+def test_weighted_push_invariant_against_power(wg, seed):
+    source = seed % wg.n
+    reserve, residue = weighted_init_state(wg, source)
+    weighted_forward_push(wg, reserve, residue, ALPHA, 1e-3)
+    combined = reserve.copy()
+    for v in np.flatnonzero(residue > 0):
+        combined += residue[v] * weighted_power_iteration(
+            wg, int(v), tol=1e-12).estimates
+    truth = weighted_power_iteration(wg, source, tol=1e-12).estimates
+    assert np.max(np.abs(combined - truth)) < 1e-8
+
+
+@common
+@given(weighted_graphs())
+def test_alias_tables_probabilities_valid(wg):
+    prob, alias = wg.alias_tables()
+    assert np.all(prob >= 0) and np.all(prob <= 1.0 + 1e-12)
+    if wg.m:
+        assert alias.min() >= 0 and alias.max() < wg.m
+
+
+# ----------------------------------------------------------------------
+# Preference-vector PPR
+# ----------------------------------------------------------------------
+@common
+@given(unweighted_graphs(max_n=15),
+       st.lists(st.integers(0, 10_000), min_size=1, max_size=4),
+       st.integers(0, 10_000))
+def test_exact_ppr_linearity(g, raw_nodes, extra_seed):
+    del extra_seed
+    nodes = [v % g.n for v in raw_nodes]
+    combined = exact_ppr(g, nodes, alpha=ALPHA)
+    vector = normalize_preference(g, nodes)
+    expected = np.zeros(g.n)
+    for v in np.flatnonzero(vector > 0):
+        expected += vector[v] * exact_ppr(g, [int(v)], alpha=ALPHA)
+    assert np.max(np.abs(combined - expected)) < 1e-9
+
+
+@common
+@given(unweighted_graphs(max_n=15),
+       st.lists(st.integers(0, 10_000), min_size=1, max_size=4))
+def test_exact_ppr_is_distribution(g, raw_nodes):
+    nodes = [v % g.n for v in raw_nodes]
+    pi = exact_ppr(g, nodes, alpha=ALPHA)
+    assert pi.sum() == pytest.approx(1.0, abs=1e-9)
+    assert pi.min() >= 0
+
+
+# ----------------------------------------------------------------------
+# Connectivity structure
+# ----------------------------------------------------------------------
+@common
+@given(unweighted_graphs())
+def test_scc_refines_weak_components(g):
+    weak = weakly_connected_labels(g)
+    strong = strongly_connected_labels(g)
+    # Nodes in the same SCC must share a weak component.
+    for label in range(int(strong.max()) + 1):
+        members = np.flatnonzero(strong == label)
+        assert len(set(weak[members].tolist())) == 1
+
+
+@common
+@given(unweighted_graphs())
+def test_scc_edges_never_point_to_larger_label(g):
+    labels = strongly_connected_labels(g)
+    for u, v in g.edges():
+        if labels[u] != labels[v]:
+            # Tarjan labels are reverse-topological.
+            assert labels[u] > labels[v]
+
+
+@common
+@given(unweighted_graphs())
+def test_builder_roundtrip_any_graph(g):
+    rebuilt = GraphBuilder(graph=g).build()
+    assert rebuilt == g
+
+
+@common
+@given(unweighted_graphs(),
+       st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)),
+                max_size=8))
+def test_builder_add_remove_inverse(g, extra_edges):
+    builder = GraphBuilder(graph=g)
+    added = []
+    for u, v in extra_edges:
+        u, v = u % g.n, v % g.n
+        if u == v:
+            continue
+        if builder.add_edge(u, v):
+            added.append((u, v))
+    for u, v in added:
+        assert builder.remove_edge(u, v)
+    assert builder.build() == g
+
+
+# ----------------------------------------------------------------------
+# Result and report invariants
+# ----------------------------------------------------------------------
+@common
+@given(unweighted_graphs(max_n=20), st.integers(0, 10_000),
+       st.integers(0, 100))
+def test_serialize_roundtrip_any_result(g, seed, rng_seed):
+    from repro.core import AccuracyParams, load_result, resacc, save_result
+    import tempfile
+    import pathlib
+
+    source = seed % g.n
+    acc = AccuracyParams(eps=0.5, delta=0.1, p_f=0.1)
+    result = resacc(g, source, accuracy=acc, seed=rng_seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_result(result, pathlib.Path(tmp) / "r.npz")
+        loaded = load_result(path)
+    assert np.array_equal(loaded.estimates, result.estimates)
+    assert loaded.source == result.source
+
+
+@common
+@given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                min_size=2, max_size=40),
+       st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                min_size=2, max_size=40),
+       st.integers(1, 50))
+def test_ndcg_permutation_invariance_of_ties(truth_list, est_list, k):
+    from repro.metrics import ndcg_at_k
+
+    n = min(len(truth_list), len(est_list))
+    truth = np.array(truth_list[:n])
+    est = np.array(est_list[:n])
+    base = ndcg_at_k(truth, est, k)
+    # Scaling by 2 is exact in floating point, so the ranking (including
+    # its tie structure) is bit-identical.  (An additive shift would NOT
+    # be: it can collapse near-ties and legitimately change the order.)
+    scaled = ndcg_at_k(truth, est * 2.0, k)
+    assert base == pytest.approx(scaled)
+
+
+@common
+@given(st.lists(st.floats(min_value=1e-9, max_value=1e3,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=30))
+def test_boxplot_summary_ordering(values):
+    from repro.metrics import boxplot_summary
+
+    summary = boxplot_summary(values)
+    assert summary.minimum <= summary.q1 <= summary.median \
+        <= summary.q3 <= summary.maximum
+    assert summary.iqr >= 0

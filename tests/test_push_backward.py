@@ -1,0 +1,84 @@
+"""Tests for the backward-push kernel and its invariant."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.inverse import ExactSolver
+from repro.errors import ParameterError
+from repro.graph import from_edges, generators
+from repro.push import backward_push
+
+ALPHA = 0.2
+
+
+def backward_invariant_gap(graph, target, reserve, residue, truth_vectors):
+    """Max violation of pi(s,t) = reserve(s) + sum_v residue(v) pi(s,v)."""
+    worst = 0.0
+    for s in range(graph.n):
+        value = reserve[s] + float(truth_vectors[s] @ residue)
+        truth = truth_vectors[s][target]
+        worst = max(worst, abs(value - truth))
+    return worst
+
+
+class TestBackwardInvariant:
+    def test_against_exact_on_cycle_graph(self):
+        g = generators.paper_figure3_graph()
+        solver = ExactSolver(g, ALPHA)
+        truth = [solver.query(s).estimates for s in range(g.n)]
+        for target in range(g.n):
+            reserve, residue, _ = backward_push(g, target, ALPHA, 1e-4)
+            assert backward_invariant_gap(g, target, reserve, residue,
+                                          truth) < 1e-10
+
+    def test_against_exact_on_random_graph(self):
+        g = generators.preferential_attachment(50, 2, seed=1)
+        solver = ExactSolver(g, ALPHA)
+        truth = [solver.query(s).estimates for s in range(g.n)]
+        for target in (0, 7, 23):
+            reserve, residue, _ = backward_push(g, target, ALPHA, 1e-3)
+            assert backward_invariant_gap(g, target, reserve, residue,
+                                          truth) < 1e-10
+
+    def test_dangling_target_special_case(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3), (2, 0)])  # 3 is dangling
+        solver = ExactSolver(g, ALPHA)
+        truth = [solver.query(s).estimates for s in range(g.n)]
+        reserve, residue, _ = backward_push(g, 3, ALPHA, 1e-6)
+        assert backward_invariant_gap(g, 3, reserve, residue, truth) < 1e-10
+
+    def test_exact_limit(self):
+        """At a tiny threshold the reserve converges to the column of pi."""
+        g = generators.preferential_attachment(40, 2, seed=5)
+        solver = ExactSolver(g, ALPHA)
+        target = 11
+        reserve, residue, _ = backward_push(g, target, ALPHA, 1e-12)
+        assert residue.max() < 1e-12
+        for s in (0, 3, 17):
+            truth = solver.query(s).estimates[target]
+            assert reserve[s] == pytest.approx(truth, abs=1e-9)
+
+
+class TestBackwardBehaviour:
+    def test_residues_stop_below_threshold(self, ba_graph):
+        _, residue, _ = backward_push(ba_graph, 9, ALPHA, 1e-4)
+        assert residue.max() < 1e-4
+
+    def test_push_budget(self, ba_graph):
+        _, _, stats = backward_push(ba_graph, 9, ALPHA, 1e-9, max_pushes=3)
+        assert stats.pushes <= 3
+
+    def test_target_out_of_range(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            backward_push(tiny_graph, 42, ALPHA, 1e-3)
+
+    def test_restart_policy_with_dangling_rejected(self, tiny_graph):
+        g = tiny_graph.with_dangling("restart")
+        with pytest.raises(ParameterError):
+            backward_push(g, 0, ALPHA, 1e-3)
+
+    def test_bad_params(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            backward_push(tiny_graph, 0, 0.0, 1e-3)
+        with pytest.raises(ParameterError):
+            backward_push(tiny_graph, 0, ALPHA, -1.0)

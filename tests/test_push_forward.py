@@ -1,0 +1,162 @@
+"""Tests for the forward-push kernel: invariant, stopping, policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.inverse import ExactSolver
+from repro.baselines.power import power_iteration
+from repro.errors import ConvergenceError, ParameterError
+from repro.graph import from_edges, generators
+from repro.push import (
+    forward_push_loop,
+    init_state,
+    push_thresholds,
+    single_push,
+)
+
+ALPHA = 0.2
+
+
+def push_invariant_gap(graph, source, reserve, residue, truth_vectors):
+    """Max violation of pi(s,t) = reserve(t) + sum_v residue(v) pi(v,t)."""
+    combined = reserve.copy()
+    for v in np.flatnonzero(residue > 0):
+        combined += residue[v] * truth_vectors[v]
+    truth = truth_vectors[source]
+    return float(np.max(np.abs(combined - truth)))
+
+
+class TestSinglePush:
+    def test_moves_mass(self, tiny_graph):
+        reserve, residue = init_state(tiny_graph, 0)
+        single_push(tiny_graph, 0, reserve, residue, ALPHA)
+        assert reserve[0] == pytest.approx(ALPHA)
+        assert residue[0] == 0.0
+        assert residue[1] == pytest.approx(1 - ALPHA)
+
+    def test_dangling_absorbs(self, tiny_graph):
+        reserve, residue = init_state(tiny_graph, 5)
+        single_push(tiny_graph, 5, reserve, residue, ALPHA)
+        assert reserve[5] == pytest.approx(1.0)
+        assert residue.sum() == 0.0
+
+    def test_dangling_restart(self, tiny_graph):
+        g = tiny_graph.with_dangling("restart")
+        reserve, residue = init_state(g, 5)
+        single_push(g, 5, reserve, residue, ALPHA, source=0)
+        assert reserve[5] == pytest.approx(ALPHA)
+        assert residue[0] == pytest.approx(1 - ALPHA)
+
+    def test_noop_on_zero_residue(self, tiny_graph):
+        reserve, residue = init_state(tiny_graph, 0)
+        single_push(tiny_graph, 3, reserve, residue, ALPHA)
+        assert reserve[3] == 0.0
+
+
+class TestStoppingCondition:
+    @pytest.mark.parametrize("method", ["frontier", "queue"])
+    def test_no_node_satisfies_condition_after(self, ba_graph, method):
+        reserve, residue = init_state(ba_graph, 0)
+        forward_push_loop(ba_graph, reserve, residue, ALPHA, 1e-5,
+                          method=method)
+        thresholds = push_thresholds(ba_graph, 1e-5)
+        assert np.all(residue < thresholds)
+
+    @pytest.mark.parametrize("method", ["frontier", "queue"])
+    def test_mass_conservation(self, ba_graph, method):
+        reserve, residue = init_state(ba_graph, 3)
+        forward_push_loop(ba_graph, reserve, residue, ALPHA, 1e-6,
+                          method=method)
+        assert reserve.sum() + residue.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_mass_conservation_with_dangling(self, web_graph):
+        reserve, residue = init_state(web_graph, 1)
+        forward_push_loop(web_graph, reserve, residue, ALPHA, 1e-7)
+        assert reserve.sum() + residue.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_budget_exceeded_raises(self, ba_graph):
+        reserve, residue = init_state(ba_graph, 0)
+        with pytest.raises(ConvergenceError):
+            forward_push_loop(ba_graph, reserve, residue, ALPHA, 1e-12,
+                              max_pushes=5)
+
+
+class TestInvariant:
+    @pytest.mark.parametrize("method", ["frontier", "queue"])
+    def test_invariant_against_exact(self, method):
+        g = generators.preferential_attachment(60, 2, seed=3)
+        solver = ExactSolver(g, ALPHA)
+        truth_vectors = [solver.query(v).estimates for v in range(g.n)]
+        reserve, residue = init_state(g, 4)
+        forward_push_loop(g, reserve, residue, ALPHA, 1e-3, method=method)
+        gap = push_invariant_gap(g, 4, reserve, residue, truth_vectors)
+        assert gap < 1e-10
+
+    def test_invariant_with_dangling_nodes(self):
+        g = from_edges(5, [(0, 1), (1, 2), (2, 0), (1, 3), (3, 4)])
+        solver = ExactSolver(g, ALPHA)
+        truth_vectors = [solver.query(v).estimates for v in range(g.n)]
+        reserve, residue = init_state(g, 0)
+        forward_push_loop(g, reserve, residue, ALPHA, 0.05)
+        gap = push_invariant_gap(g, 0, reserve, residue, truth_vectors)
+        assert gap < 1e-12
+
+    def test_restart_policy_against_power(self):
+        g = from_edges(5, [(0, 1), (1, 2), (2, 0), (1, 3), (3, 4)]) \
+            .with_dangling("restart")
+        reserve, residue = init_state(g, 0)
+        forward_push_loop(g, reserve, residue, ALPHA, 1e-14, source=0)
+        truth = power_iteration(g, 0, alpha=ALPHA, tol=1e-13).estimates
+        assert np.max(np.abs(reserve - truth)) < 1e-10
+
+
+class TestSchedulingEquivalence:
+    def test_queue_and_frontier_agree_at_tiny_threshold(self, ba_graph):
+        results = {}
+        for method in ("frontier", "queue"):
+            reserve, residue = init_state(ba_graph, 7)
+            forward_push_loop(ba_graph, reserve, residue, ALPHA, 1e-12,
+                              method=method)
+            results[method] = reserve
+        gap = np.max(np.abs(results["frontier"] - results["queue"]))
+        assert gap < 1e-9  # both are within r_sum of the same fixpoint
+
+    def test_can_push_mask_freezes_nodes(self, tiny_graph):
+        reserve, residue = init_state(tiny_graph, 0)
+        can_push = np.ones(tiny_graph.n, dtype=bool)
+        can_push[2] = False
+        forward_push_loop(tiny_graph, reserve, residue, ALPHA, 1e-9,
+                          can_push=can_push)
+        assert reserve[2] == 0.0       # never pushed: no reserve gained
+        assert residue[2] > 0.0        # mass accumulated instead
+
+    def test_seed_order_respected_but_complete(self, ba_graph):
+        reserve, residue = init_state(ba_graph, 0)
+        stats = forward_push_loop(ba_graph, reserve, residue, ALPHA, 1e-6,
+                                  method="queue", seeds=np.array([0]))
+        assert stats.pushes > 1
+        assert np.all(residue < push_thresholds(ba_graph, 1e-6))
+
+
+class TestValidation:
+    def test_bad_alpha(self, tiny_graph):
+        reserve, residue = init_state(tiny_graph, 0)
+        with pytest.raises(ParameterError):
+            forward_push_loop(tiny_graph, reserve, residue, 1.5, 1e-3)
+
+    def test_bad_r_max(self, tiny_graph):
+        reserve, residue = init_state(tiny_graph, 0)
+        with pytest.raises(ParameterError):
+            forward_push_loop(tiny_graph, reserve, residue, ALPHA, 0.0)
+
+    def test_restart_requires_source(self, tiny_graph):
+        g = tiny_graph.with_dangling("restart")
+        reserve, residue = init_state(g, 0)
+        with pytest.raises(ParameterError):
+            forward_push_loop(g, reserve, residue, ALPHA, 1e-3)
+
+    def test_unknown_method(self, tiny_graph):
+        reserve, residue = init_state(tiny_graph, 0)
+        with pytest.raises(ParameterError):
+            forward_push_loop(tiny_graph, reserve, residue, ALPHA, 1e-3,
+                              method="chaotic")

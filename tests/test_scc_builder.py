@@ -1,0 +1,173 @@
+"""Tests for strongly connected components and the incremental builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    GraphBuilder,
+    condensation_edges,
+    from_edges,
+    generators,
+    is_strongly_connected,
+    strongly_connected_components,
+    strongly_connected_labels,
+    terminal_components,
+)
+
+
+class TestSCC:
+    def test_cycle_is_one_component(self):
+        g = generators.ring(6)
+        assert is_strongly_connected(g)
+        assert len(strongly_connected_components(g)) == 1
+
+    def test_path_is_all_singletons(self):
+        g = generators.path(5)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 5
+        assert not is_strongly_connected(g)
+
+    def test_two_cycles_with_bridge(self):
+        # 0-1-2 cycle -> bridge -> 3-4-5 cycle
+        g = from_edges(6, [(0, 1), (1, 2), (2, 0),
+                           (2, 3),
+                           (3, 4), (4, 5), (5, 3)])
+        comps = strongly_connected_components(g)
+        assert sorted(sorted(c.tolist()) for c in comps) == \
+            [[0, 1, 2], [3, 4, 5]]
+
+    def test_labels_reverse_topological(self):
+        g = from_edges(6, [(0, 1), (1, 2), (2, 0),
+                           (2, 3),
+                           (3, 4), (4, 5), (5, 3)])
+        labels = strongly_connected_labels(g)
+        # Edge 2 -> 3 crosses components; source label must be larger.
+        assert labels[2] > labels[3]
+
+    def test_condensation_edges(self):
+        g = from_edges(6, [(0, 1), (1, 2), (2, 0),
+                           (2, 3),
+                           (3, 4), (4, 5), (5, 3)])
+        labels = strongly_connected_labels(g)
+        edges = condensation_edges(g)
+        assert edges.shape == (1, 2)
+        assert tuple(edges[0]) == (labels[0], labels[3])
+
+    def test_terminal_components(self):
+        g = from_edges(6, [(0, 1), (1, 2), (2, 0),
+                           (2, 3),
+                           (3, 4), (4, 5), (5, 3)])
+        labels = strongly_connected_labels(g)
+        terminals = terminal_components(g)
+        assert list(terminals) == [labels[3]]
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        from repro.graph import to_networkx
+
+        g = generators.directed_power_law(200, 4, seed=7)
+        ours = {frozenset(map(int, c))
+                for c in strongly_connected_components(g)}
+        theirs = {frozenset(c)
+                  for c in nx.strongly_connected_components(
+                      to_networkx(g))}
+        assert ours == theirs
+
+    def test_deep_chain_no_recursion_limit(self):
+        # A 50k-node path would blow Python's default recursion limit in
+        # a recursive Tarjan; the iterative version must handle it.
+        g = generators.path(50_000)
+        labels = strongly_connected_labels(g)
+        assert labels.max() == 50_000 - 1
+
+    def test_rwr_mass_concentrates_in_terminal_component(self):
+        from repro.baselines import power_iteration
+
+        g = from_edges(6, [(0, 1), (1, 2), (2, 0),
+                           (2, 3),
+                           (3, 4), (4, 5), (5, 3)])
+        labels = strongly_connected_labels(g)
+        terminal = terminal_components(g)[0]
+        pi = power_iteration(g, 0).estimates
+        inside = pi[labels == terminal].sum()
+        # The walk leaks into the terminal cycle and can never return,
+        # but alpha-absorption keeps some mass near the source.
+        assert 0.2 < inside < 1.0
+
+
+class TestGraphBuilder:
+    def test_build_from_scratch(self):
+        builder = GraphBuilder(3)
+        assert builder.add_edge(0, 1)
+        assert builder.add_edge(1, 2)
+        assert not builder.add_edge(0, 1)  # duplicate
+        g = builder.build()
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_start_from_existing_graph(self, tiny_graph):
+        builder = GraphBuilder(graph=tiny_graph)
+        assert builder.num_edges == tiny_graph.m
+        builder.remove_edge(0, 1)
+        g = builder.build()
+        assert g.m == tiny_graph.m - 1
+        assert not g.has_edge(0, 1)
+
+    def test_roundtrip_identity(self, ba_graph):
+        rebuilt = GraphBuilder(graph=ba_graph).build()
+        assert rebuilt == ba_graph
+
+    def test_grow(self):
+        builder = GraphBuilder(2)
+        with pytest.raises(GraphFormatError):
+            builder.add_edge(0, 5)
+        builder.add_edge(0, 5, grow=True)
+        assert builder.num_nodes == 6
+
+    def test_add_node(self):
+        builder = GraphBuilder(0)
+        a = builder.add_node()
+        b = builder.add_node()
+        builder.add_edge(a, b)
+        assert builder.build().m == 1
+
+    def test_undirected_edge(self):
+        builder = GraphBuilder(2)
+        builder.add_undirected_edge(0, 1)
+        g = builder.build()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_remove_node_edges(self, tiny_graph):
+        builder = GraphBuilder(graph=tiny_graph)
+        removed = builder.remove_node_edges(1)
+        assert removed == 3  # (0,1), (1,2), (1,3)
+        g = builder.build()
+        assert g.out_degree(1) == 0
+        assert 1 not in set(g.indices.tolist())
+
+    def test_self_loop_rejected(self):
+        builder = GraphBuilder(2)
+        with pytest.raises(GraphFormatError):
+            builder.add_edge(1, 1)
+
+    def test_remove_missing_edge(self):
+        builder = GraphBuilder(2)
+        assert not builder.remove_edge(0, 1)
+
+    def test_len_and_repr(self):
+        builder = GraphBuilder(2)
+        builder.add_edge(0, 1)
+        assert len(builder) == 1
+        assert "GraphBuilder" in repr(builder)
+
+    def test_streaming_updates_then_query(self):
+        """The dynamic-graph story: mutate, build, query -- no index."""
+        from repro.core import resacc
+
+        builder = GraphBuilder(graph=generators.ring(50))
+        builder.add_undirected_edge(0, 25)
+        builder.remove_edge(10, 11)
+        g = builder.build()
+        result = resacc(g, 0, seed=1)
+        assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)

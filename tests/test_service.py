@@ -1,0 +1,119 @@
+"""Tests for the cached query-service facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import AccuracyParams
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.service import QueryEngine
+
+
+@pytest.fixture
+def engine(ba_graph):
+    accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+    return QueryEngine(ba_graph, accuracy=accuracy, cache_size=8, seed=1)
+
+
+class TestQueries:
+    def test_query_returns_distribution(self, engine):
+        result = engine.query(0)
+        assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_cache_hit_returns_same_object(self, engine):
+        first = engine.query(3)
+        second = engine.query(3)
+        assert first is second
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self, ba_graph):
+        engine = QueryEngine(ba_graph, cache_size=2, seed=1)
+        a = engine.query(0)
+        engine.query(1)
+        engine.query(2)          # evicts source 0
+        again = engine.query(0)  # recomputed
+        assert again is not a
+        assert engine.stats.cache_misses == 4
+
+    def test_zero_cache(self, ba_graph):
+        engine = QueryEngine(ba_graph, cache_size=0, seed=1)
+        engine.query(0)
+        engine.query(0)
+        assert engine.stats.cache_hits == 0
+
+    def test_top_k_and_recommend(self, engine):
+        nodes, values = engine.top_k(0, 5)
+        assert len(nodes) == 5
+        picks = engine.recommend(0, 5)
+        banned = {0} | set(int(v) for v in
+                           engine.graph.out_neighbors(0))
+        assert len(picks) == 5
+        assert all(node not in banned for node, _ in picks)
+
+    def test_source_validation(self, engine):
+        with pytest.raises(ParameterError):
+            engine.query(10_000)
+
+    def test_cache_size_validation(self, ba_graph):
+        with pytest.raises(ParameterError):
+            QueryEngine(ba_graph, cache_size=-1)
+
+
+class TestUpdates:
+    def test_update_invalidates_cache(self, engine):
+        before = engine.query(0)
+        assert engine.add_edge(0, 250)
+        after = engine.query(0)
+        assert after is not before
+        assert engine.stats.updates == 1
+        assert engine.stats.invalidations == 1
+        assert engine.graph.has_edge(0, 250)
+
+    def test_noop_update_keeps_cache(self, engine):
+        cached = engine.query(0)
+        existing = next(iter(engine.graph.edges()))
+        assert not engine.add_edge(*existing)  # already present
+        assert engine.query(0) is cached
+
+    def test_remove_edge_and_node(self, engine):
+        u, v = next(iter(engine.graph.edges()))
+        assert engine.remove_edge(u, v)
+        assert not engine.graph.has_edge(u, v)
+        removed = engine.remove_node(v)
+        assert removed >= 0
+        assert engine.graph.out_degree(v) == 0
+
+    def test_updates_change_answers(self, ba_graph):
+        engine = QueryEngine(ba_graph, seed=1)
+        before = engine.query(0).estimates.copy()
+        # Wire node 0 heavily into a far part of the graph.
+        for target in range(200, 210):
+            engine.add_edge(0, target, undirected=True)
+        after = engine.query(0).estimates
+        assert not np.allclose(before, after, atol=1e-4)
+
+    def test_caller_graph_untouched(self, ba_graph):
+        m_before = ba_graph.m
+        engine = QueryEngine(ba_graph, seed=1)
+        engine.add_edge(0, 299)
+        assert ba_graph.m == m_before
+
+    def test_custom_solver(self, ba_graph):
+        from repro.baselines import fora
+
+        engine = QueryEngine(
+            ba_graph,
+            solver=lambda g, s: fora(g, s, seed=s),
+        )
+        assert engine.query(0).algorithm == "fora"
+
+
+def test_service_survives_growth():
+    g = generators.ring(10)
+    engine = QueryEngine(g, seed=0)
+    engine.add_edge(9, 10, undirected=True)  # grows the node set
+    assert engine.graph.n == 11
+    result = engine.query(10)
+    assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)

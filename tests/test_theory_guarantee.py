@@ -1,0 +1,105 @@
+"""Statistical validation of Theorems 1 and 3.
+
+These tests run many independent randomized queries and check that the
+empirical failure rate of the Definition-1 contract stays far below the
+theoretical allowance -- the library-level counterpart of the paper's
+accuracy proofs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import fora, monte_carlo
+from repro.baselines.inverse import ExactSolver
+from repro.core import AccuracyParams, ResAccParams, resacc
+from repro.graph import generators
+from repro.metrics.errors import guarantee_violation_rate
+
+ALPHA = 0.2
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return generators.preferential_attachment(400, 3, seed=42)
+
+
+@pytest.fixture(scope="module")
+def truth_vectors(medium_graph):
+    solver = ExactSolver(medium_graph, ALPHA)
+    return {s: solver.query(s).estimates for s in (0, 50, 150)}
+
+
+@pytest.mark.parametrize("solver_name", ["resacc", "fora", "mc"])
+def test_contract_holds_with_margin(medium_graph, truth_vectors,
+                                    solver_name):
+    accuracy = AccuracyParams.paper_defaults(medium_graph.n)
+    failures = 0
+    trials = 0
+    for source, truth in truth_vectors.items():
+        for seed in range(4):
+            if solver_name == "resacc":
+                result = resacc(medium_graph, source, accuracy=accuracy,
+                                seed=seed)
+            elif solver_name == "fora":
+                result = fora(medium_graph, source, accuracy=accuracy,
+                              seed=seed)
+            else:
+                result = monte_carlo(medium_graph, source,
+                                     accuracy=accuracy, seed=seed)
+            rate = guarantee_violation_rate(truth, result.estimates,
+                                            accuracy)
+            failures += rate > 0
+            trials += 1
+    # Per-node failure allowance is p_f = 1/n; whole-query failures over
+    # 12 trials should essentially never happen.
+    assert failures <= 1, f"{solver_name}: {failures}/{trials} failed"
+
+
+def test_resacc_beats_fora_on_walk_budget(medium_graph):
+    """The paper's core claim: ResAcc's push phases shrink r_sum, so its
+    remedy needs fewer walks than FORA's for the same guarantee."""
+    accuracy = AccuracyParams.paper_defaults(medium_graph.n)
+    params = ResAccParams(h=1)
+    res_walks = []
+    fora_walks = []
+    for source in (0, 11, 99, 222):
+        res_walks.append(resacc(medium_graph, source, params=params,
+                                accuracy=accuracy, seed=1).walks_used)
+        fora_walks.append(fora(medium_graph, source, accuracy=accuracy,
+                               seed=1).walks_used)
+    assert np.mean(res_walks) < np.mean(fora_walks)
+
+
+def test_tighter_eps_means_more_walks(medium_graph):
+    loose = AccuracyParams(eps=0.5, delta=1 / 400, p_f=1 / 400)
+    tight = AccuracyParams(eps=0.1, delta=1 / 400, p_f=1 / 400)
+    walks_loose = resacc(medium_graph, 0, accuracy=loose, seed=1).walks_used
+    walks_tight = resacc(medium_graph, 0, accuracy=tight, seed=1).walks_used
+    assert walks_tight > walks_loose
+
+
+def test_tighter_eps_means_smaller_error(medium_graph, truth_vectors):
+    truth = truth_vectors[0]
+    loose = AccuracyParams(eps=1.0, delta=1 / 400, p_f=1 / 400)
+    tight = AccuracyParams(eps=0.05, delta=1 / 400, p_f=1 / 400)
+    err = {}
+    for label, acc in (("loose", loose), ("tight", tight)):
+        errors = []
+        for seed in range(3):
+            est = resacc(medium_graph, 0, accuracy=acc, seed=seed).estimates
+            errors.append(np.abs(est - truth).mean())
+        err[label] = np.mean(errors)
+    assert err["tight"] < err["loose"]
+
+
+def test_estimates_unbiased_at_every_node(medium_graph, truth_vectors):
+    """Theorem 1 (unbiasedness), validated by averaging over seeds."""
+    truth = truth_vectors[50]
+    accuracy = AccuracyParams(eps=1.0, delta=0.05, p_f=0.25)
+    total = np.zeros(medium_graph.n)
+    trials = 40
+    for seed in range(trials):
+        total += resacc(medium_graph, 50, accuracy=accuracy,
+                        seed=seed).estimates
+    bias = np.abs(total / trials - truth)
+    assert bias.max() < 0.02

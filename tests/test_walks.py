@@ -1,0 +1,163 @@
+"""Tests for the vectorized random-walk engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.inverse import ExactSolver
+from repro.baselines.power import power_iteration
+from repro.errors import ParameterError
+from repro.graph import from_edges, generators
+from repro.walks import (
+    residue_weighted_walks,
+    sample_walk_endpoints,
+    sample_walk_endpoints_batch,
+    walk_terminal_mass,
+    walks_from_single_source,
+)
+
+ALPHA = 0.2
+
+
+class TestTerminalMass:
+    def test_total_mass_equals_walk_count(self, ba_graph, rng):
+        mass = walks_from_single_source(ba_graph, 0, 500, ALPHA, rng)
+        assert mass.sum() == pytest.approx(500.0)
+        assert np.all(mass >= 0)
+
+    def test_weights_accumulate(self, tiny_graph, rng):
+        starts = np.array([5, 5, 5])
+        weights = np.array([0.5, 0.25, 0.25])
+        mass = walk_terminal_mass(tiny_graph, starts, ALPHA, rng,
+                                  weights=weights)
+        # Node 5 is dangling: every walk terminates there immediately.
+        assert mass[5] == pytest.approx(1.0)
+        assert mass.sum() == pytest.approx(1.0)
+
+    def test_empty_starts(self, tiny_graph, rng):
+        mass = walk_terminal_mass(tiny_graph, np.empty(0, np.int64), ALPHA,
+                                  rng)
+        assert mass.sum() == 0.0
+
+    def test_distribution_matches_exact(self, rng):
+        g = generators.preferential_attachment(40, 2, seed=2)
+        truth = ExactSolver(g, ALPHA).query(0).estimates
+        mass = walks_from_single_source(g, 0, 60_000, ALPHA, rng)
+        empirical = mass / 60_000
+        assert np.max(np.abs(empirical - truth)) < 0.02
+
+    def test_restart_policy_distribution(self, rng):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)]).with_dangling("restart")
+        truth = power_iteration(g, 0, alpha=ALPHA, tol=1e-13).estimates
+        mass = walks_from_single_source(g, 0, 60_000, ALPHA, rng)
+        assert np.max(np.abs(mass / 60_000 - truth)) < 0.02
+
+    def test_bad_inputs(self, tiny_graph, rng):
+        with pytest.raises(ParameterError):
+            walk_terminal_mass(tiny_graph, np.zeros((2, 2), np.int64),
+                               ALPHA, rng)
+        with pytest.raises(ParameterError):
+            walk_terminal_mass(tiny_graph, np.array([0]), 0.0, rng)
+        with pytest.raises(ParameterError):
+            walk_terminal_mass(tiny_graph, np.array([0]), ALPHA, rng,
+                               weights=np.array([1.0, 2.0]))
+
+
+class TestResidueWeightedWalks:
+    def test_zero_residue_is_noop(self, tiny_graph, rng):
+        mass, used = residue_weighted_walks(
+            tiny_graph, np.zeros(tiny_graph.n), 100, ALPHA, rng
+        )
+        assert used == 0
+        assert mass.sum() == 0.0
+
+    def test_mass_sums_to_residue_sum(self, ba_graph, rng):
+        residue = np.zeros(ba_graph.n)
+        residue[3] = 0.04
+        residue[17] = 0.01
+        mass, used = residue_weighted_walks(ba_graph, residue, 2_000, ALPHA,
+                                            rng)
+        # Each walk from v contributes residue[v]/n_r(v); summing over all
+        # walks reproduces r_sum exactly.
+        assert mass.sum() == pytest.approx(0.05)
+        assert used >= 2_000
+
+    def test_unbiasedness(self, rng):
+        g = generators.preferential_attachment(30, 2, seed=9)
+        solver = ExactSolver(g, ALPHA)
+        residue = np.zeros(g.n)
+        residue[2] = 0.5
+        residue[10] = 0.5
+        expected = 0.5 * solver.query(2).estimates \
+            + 0.5 * solver.query(10).estimates
+        total = np.zeros(g.n)
+        trials = 60
+        for t in range(trials):
+            mass, _ = residue_weighted_walks(
+                g, residue, 400, ALPHA, np.random.default_rng(t)
+            )
+            total += mass
+        assert np.max(np.abs(total / trials - expected)) < 0.02
+
+
+class TestEndpointSampling:
+    def test_single_source_shapes(self, ba_graph, rng):
+        endpoints = sample_walk_endpoints(ba_graph, 4, 100, ALPHA, rng)
+        assert endpoints.shape == (100,)
+        assert endpoints.min() >= 0
+        assert endpoints.max() < ba_graph.n
+
+    def test_batch_matches_distribution(self, rng):
+        g = generators.preferential_attachment(40, 2, seed=2)
+        truth = ExactSolver(g, ALPHA).query(0).estimates
+        starts = np.zeros(40_000, dtype=np.int64)
+        endpoints = sample_walk_endpoints_batch(g, starts, ALPHA, rng)
+        empirical = np.bincount(endpoints, minlength=g.n) / starts.size
+        assert np.max(np.abs(empirical - truth)) < 0.02
+
+    def test_dangling_start_terminates_there(self, tiny_graph, rng):
+        endpoints = sample_walk_endpoints(tiny_graph, 5, 50, ALPHA, rng)
+        assert np.all(endpoints == 5)
+
+    def test_empty_batch(self, tiny_graph, rng):
+        out = sample_walk_endpoints_batch(tiny_graph,
+                                          np.empty(0, np.int64), ALPHA, rng)
+        assert out.size == 0
+
+
+def test_walks_deterministic_per_seed(ba_graph):
+    a = walks_from_single_source(ba_graph, 0, 200, ALPHA,
+                                 np.random.default_rng(1))
+    b = walks_from_single_source(ba_graph, 0, 200, ALPHA,
+                                 np.random.default_rng(1))
+    c = walks_from_single_source(ba_graph, 0, 200, ALPHA,
+                                 np.random.default_rng(2))
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+class TestChunking:
+    def test_chunked_matches_unchunked_total(self, ba_graph):
+        starts = np.zeros(5_000, dtype=np.int64)
+        mass = walk_terminal_mass(ba_graph, starts, ALPHA,
+                                  np.random.default_rng(0), chunk_size=700)
+        assert mass.sum() == pytest.approx(5_000.0)
+
+    def test_chunked_weights_aligned(self, tiny_graph):
+        # Start at the dangling node so every walk ends where it starts;
+        # chunking must keep each weight with its own walk.
+        starts = np.full(10, 5, dtype=np.int64)
+        weights = np.arange(10, dtype=np.float64)
+        mass = walk_terminal_mass(tiny_graph, starts, ALPHA,
+                                  np.random.default_rng(0),
+                                  weights=weights, chunk_size=3)
+        assert mass[5] == pytest.approx(weights.sum())
+
+    def test_chunked_distribution_unbiased(self, rng):
+        from repro.baselines.inverse import ExactSolver
+        from repro.graph import generators
+
+        g = generators.preferential_attachment(40, 2, seed=2)
+        truth = ExactSolver(g, ALPHA).query(0).estimates
+        starts = np.zeros(30_000, dtype=np.int64)
+        mass = walk_terminal_mass(g, starts, ALPHA, rng, chunk_size=4_096)
+        assert np.max(np.abs(mass / starts.size - truth)) < 0.02

@@ -1,0 +1,238 @@
+"""Tests for the edge-weighted RWR extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, ParameterError
+from repro.graph import generators
+from repro.metrics.errors import guarantee_violation_rate
+from repro.core import AccuracyParams
+from repro.weighted import (
+    WeightedCSRGraph,
+    from_weighted_edges,
+    uniform_weights,
+    weighted_forward_push,
+    weighted_init_state,
+    weighted_power_iteration,
+    weighted_ssrwr,
+    weighted_walk_terminal_mass,
+)
+
+ALPHA = 0.2
+
+
+@pytest.fixture
+def wgraph():
+    """A small weighted graph with skewed weights and an absorbing node."""
+    return from_weighted_edges(5, [
+        (0, 1, 3.0), (0, 2, 1.0),
+        (1, 2, 2.0), (1, 3, 2.0),
+        (2, 0, 1.0), (3, 4, 1.0),
+        # node 4 has no out-edges: absorbing
+    ])
+
+
+def dense_truth(graph, source, alpha=ALPHA):
+    """Exact weighted RWR by dense linear algebra (test oracle)."""
+    n = graph.n
+    p = np.zeros((n, n))
+    sums = graph.weight_sums
+    for v in range(n):
+        if sums[v] > 0:
+            p[v, graph.out_neighbors(v)] = graph.out_weights(v) / sums[v]
+    system = np.eye(n) - (1 - alpha) * p.T
+    unit = np.zeros(n)
+    unit[source] = 1.0
+    visits = np.linalg.solve(system, unit)
+    absorb = np.where(sums > 0, alpha, 1.0)
+    return absorb * visits
+
+
+class TestWeightedGraph:
+    def test_builder_accumulates_duplicates(self):
+        g = from_weighted_edges(3, [(0, 1, 1.0), (0, 1, 2.0), (1, 2, 1.0)])
+        assert g.m == 2
+        assert g.out_weights(0)[0] == pytest.approx(3.0)
+
+    def test_builder_drops_self_loops(self):
+        g = from_weighted_edges(2, [(0, 0, 5.0), (0, 1, 1.0)])
+        assert g.m == 1
+
+    def test_builder_validation(self):
+        with pytest.raises(GraphFormatError):
+            from_weighted_edges(2, [(0, 5, 1.0)])
+        with pytest.raises(GraphFormatError):
+            from_weighted_edges(2, [(0, 1, -1.0)])
+
+    def test_symmetrize(self):
+        g = from_weighted_edges(2, [(0, 1, 2.5)], symmetrize=True)
+        assert g.m == 2
+        assert g.out_weights(1)[0] == pytest.approx(2.5)
+
+    def test_weight_sums_and_absorbing(self, wgraph):
+        assert wgraph.weight_sums[0] == pytest.approx(4.0)
+        assert list(np.flatnonzero(wgraph.effectively_dangling)) == [4]
+
+    def test_transition_row(self, wgraph):
+        row = wgraph.transition_row(0)
+        assert row.sum() == pytest.approx(1.0)
+        assert row[0] == pytest.approx(0.75)  # weight 3 of 4 to node 1
+
+    def test_zero_weight_node_is_absorbing(self):
+        g = from_weighted_edges(3, [(0, 1, 0.0), (1, 2, 1.0)])
+        assert bool(g.effectively_dangling[0])
+
+    def test_weights_shape_validated(self):
+        with pytest.raises(GraphFormatError):
+            WeightedCSRGraph(2, np.array([0, 1, 1]), np.array([1]),
+                             np.array([1.0, 2.0]))
+
+
+class TestAliasTables:
+    def test_sampling_distribution_matches_weights(self, wgraph, rng):
+        prob, alias = wgraph.alias_tables()
+        assert prob.shape == (wgraph.m,)
+        # Sample neighbour of node 0 many times; expect 3:1 split.
+        draws = 40_000
+        base = wgraph.indptr[0]
+        degree = wgraph.out_degree(0)
+        slots = base + (rng.random(draws) * degree).astype(np.int64)
+        accept = rng.random(draws) < prob[slots]
+        chosen = np.where(accept, slots, alias[slots])
+        picks = wgraph.indices[chosen]
+        fraction_to_1 = (picks == 1).mean()
+        assert fraction_to_1 == pytest.approx(0.75, abs=0.02)
+
+    def test_uniform_weights_give_uniform_tables(self, ba_graph):
+        wg = uniform_weights(ba_graph)
+        prob, alias = wg.alias_tables()
+        assert np.allclose(prob, 1.0)
+
+
+class TestWeightedPush:
+    def test_mass_conservation(self, wgraph):
+        reserve, residue = weighted_init_state(wgraph, 0)
+        weighted_forward_push(wgraph, reserve, residue, ALPHA, 1e-8)
+        assert reserve.sum() + residue.sum() == pytest.approx(1.0,
+                                                              abs=1e-12)
+
+    def test_push_invariant_against_dense(self, wgraph):
+        truth = [dense_truth(wgraph, v) for v in range(wgraph.n)]
+        reserve, residue = weighted_init_state(wgraph, 0)
+        weighted_forward_push(wgraph, reserve, residue, ALPHA, 1e-2)
+        combined = reserve.copy()
+        for v in np.flatnonzero(residue > 0):
+            combined += residue[v] * truth[v]
+        assert np.max(np.abs(combined - truth[0])) < 1e-12
+
+    def test_converges_to_truth(self, wgraph):
+        truth = dense_truth(wgraph, 0)
+        reserve, residue = weighted_init_state(wgraph, 0)
+        weighted_forward_push(wgraph, reserve, residue, ALPHA, 1e-13)
+        assert np.max(np.abs(reserve - truth)) < 1e-9
+
+    def test_validation(self, wgraph):
+        reserve, residue = weighted_init_state(wgraph, 0)
+        with pytest.raises(ParameterError):
+            weighted_forward_push(wgraph, reserve, residue, 0.0, 1e-3)
+        with pytest.raises(ParameterError):
+            weighted_forward_push(wgraph, reserve, residue, ALPHA, 0.0)
+
+
+class TestWeightedPower:
+    def test_matches_dense(self, wgraph):
+        for source in range(wgraph.n):
+            result = weighted_power_iteration(wgraph, source, tol=1e-13)
+            truth = dense_truth(wgraph, source)
+            assert np.max(np.abs(result.estimates - truth)) < 1e-10
+
+    def test_reduces_to_unweighted_on_uniform_weights(self, ba_graph):
+        from repro.baselines import power_iteration
+
+        wg = uniform_weights(ba_graph)
+        weighted = weighted_power_iteration(wg, 0, tol=1e-13).estimates
+        unweighted = power_iteration(ba_graph, 0, tol=1e-13).estimates
+        assert np.max(np.abs(weighted - unweighted)) < 1e-10
+
+
+class TestWeightedWalks:
+    def test_terminal_distribution_matches_dense(self, wgraph, rng):
+        truth = dense_truth(wgraph, 0)
+        starts = np.zeros(60_000, dtype=np.int64)
+        mass = weighted_walk_terminal_mass(wgraph, starts, ALPHA, rng)
+        empirical = mass / starts.size
+        assert np.max(np.abs(empirical - truth)) < 0.02
+
+    def test_absorbing_start(self, wgraph, rng):
+        starts = np.full(100, 4, dtype=np.int64)
+        mass = weighted_walk_terminal_mass(wgraph, starts, ALPHA, rng)
+        assert mass[4] == pytest.approx(100.0)
+
+
+class TestWeightedSolver:
+    def test_meets_contract(self, wgraph):
+        accuracy = AccuracyParams(eps=0.5, delta=0.02, p_f=0.01)
+        truth = dense_truth(wgraph, 0)
+        result = weighted_ssrwr(wgraph, 0, accuracy=accuracy, seed=3)
+        assert guarantee_violation_rate(truth, result.estimates,
+                                        accuracy) == 0.0
+        assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_contract_on_random_weighted_graph(self):
+        rng = np.random.default_rng(4)
+        base = generators.preferential_attachment(120, 3, seed=4)
+        triples = [(u, v, float(rng.uniform(0.1, 5.0)))
+                   for u, v in base.edges()]
+        wg = from_weighted_edges(base.n, triples)
+        accuracy = AccuracyParams.paper_defaults(wg.n)
+        truth = weighted_power_iteration(wg, 0, tol=1e-13).estimates
+        result = weighted_ssrwr(wg, 0, accuracy=accuracy, seed=5)
+        assert guarantee_violation_rate(truth, result.estimates,
+                                        accuracy) == 0.0
+
+    def test_matches_unweighted_pipeline_on_uniform(self, ba_graph):
+        from repro.baselines import fora
+
+        wg = uniform_weights(ba_graph)
+        accuracy = AccuracyParams.paper_defaults(ba_graph.n)
+        weighted = weighted_ssrwr(wg, 0, accuracy=accuracy, seed=1)
+        unweighted = fora(ba_graph, 0, accuracy=accuracy, seed=1)
+        # Same accuracy class: both track the same truth closely.
+        assert np.max(np.abs(weighted.estimates
+                             - unweighted.estimates)) < 0.05
+
+    def test_source_validation(self, wgraph):
+        with pytest.raises(ParameterError):
+            weighted_ssrwr(wgraph, 99)
+
+
+class TestWeightedPPR:
+    def test_point_mass_matches_weighted_ssrwr_truth(self, wgraph):
+        from repro.weighted import weighted_personalized_pagerank
+
+        accuracy = AccuracyParams(eps=0.5, delta=0.02, p_f=0.01)
+        truth = dense_truth(wgraph, 0)
+        result = weighted_personalized_pagerank(wgraph, [0],
+                                                accuracy=accuracy, seed=2)
+        assert guarantee_violation_rate(truth, result.estimates,
+                                        accuracy) == 0.0
+
+    def test_linearity_over_preference(self, wgraph):
+        from repro.weighted import weighted_personalized_pagerank
+
+        accuracy = AccuracyParams(eps=1.0, delta=0.05, p_f=0.2)
+        expected = 0.5 * dense_truth(wgraph, 0) + 0.5 * dense_truth(wgraph, 1)
+        total = np.zeros(wgraph.n)
+        trials = 30
+        for seed in range(trials):
+            total += weighted_personalized_pagerank(
+                wgraph, {0: 1.0, 1: 1.0}, accuracy=accuracy, seed=seed
+            ).estimates
+        assert np.max(np.abs(total / trials - expected)) < 0.03
+
+    def test_support_reported(self, wgraph):
+        from repro.weighted import weighted_personalized_pagerank
+
+        result = weighted_personalized_pagerank(wgraph, [0, 1, 2], seed=0)
+        assert result.extras["support"] == 3
+        assert result.algorithm == "weighted-ppr"
