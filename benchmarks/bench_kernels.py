@@ -2,6 +2,14 @@
 
 These isolate the primitives every solver is built from, so kernel
 regressions are visible independently of the experiment suites.
+
+Run directly with ``--ci`` for the reduced perf-smoke mode used by the
+CI pipeline: it times ResAcc queries with and without a
+:class:`repro.obs.QueryTrace` attached, writes ``BENCH_ci.json`` through
+the trace export, and exits non-zero if instrumentation overhead
+exceeds the budget (5% by default)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --ci --out BENCH_ci.json
 """
 
 import numpy as np
@@ -95,3 +103,117 @@ def bench_preference_ppr(benchmark, graph):
     result = benchmark(lambda: personalized_pagerank(
         graph, [0, 1, 2], accuracy=accuracy, seed=0))
     assert result.estimates.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# CI perf-smoke mode (invoked as a script, never collected by pytest)
+# ----------------------------------------------------------------------
+
+def run_ci_smoke(out_path="BENCH_ci.json", *, dataset="pokec", scale=0.25,
+                 num_sources=3, repeats=5, seed=0, overhead_limit=0.05,
+                 grace_seconds=0.002):
+    """Measure tracing overhead on reduced ResAcc queries.
+
+    For each (source, repeat) pair one untraced and one traced query run
+    back to back with identical RNG seeds; per-source medians over the
+    repeats are compared.  The traced runs' traces are aggregated with
+    :func:`repro.obs.export.aggregate_traces` and everything is written
+    to ``out_path`` as JSON.
+
+    ``grace_seconds`` absorbs scheduler noise on sub-millisecond
+    queries: the budget check is
+    ``traced <= untraced * (1 + overhead_limit) + grace_seconds``.
+
+    Returns the JSON payload (also written to disk).
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.community.seeding import random_seeds
+    from repro.obs import QueryTrace, aggregate_traces, trace_to_dict
+
+    graph = catalog.load(dataset, scale=scale)
+    accuracy = AccuracyParams.paper_defaults(graph.n)
+    sources = random_seeds(graph, num_sources, seed=seed)
+    untraced = {int(s): [] for s in sources}
+    traced = {int(s): [] for s in sources}
+    traces = []
+    for source in sources:
+        resacc(graph, source, accuracy=accuracy, seed=seed)  # warm-up
+        for repeat in range(repeats):
+            tic = time.perf_counter()
+            plain = resacc(graph, source, accuracy=accuracy, seed=seed)
+            untraced[int(source)].append(time.perf_counter() - tic)
+            trace = QueryTrace()
+            tic = time.perf_counter()
+            instrumented = resacc(graph, source, accuracy=accuracy,
+                                  seed=seed, trace=trace)
+            traced[int(source)].append(time.perf_counter() - tic)
+            if repeat == 0:
+                assert np.array_equal(plain.estimates,
+                                      instrumented.estimates), \
+                    "tracing changed the estimates"
+                traces.append(trace)
+    untraced_median = float(np.sum([np.median(v)
+                                    for v in untraced.values()]))
+    traced_median = float(np.sum([np.median(v) for v in traced.values()]))
+    budget = untraced_median * (1.0 + overhead_limit) + grace_seconds
+    overhead_pct = (100.0 * (traced_median - untraced_median)
+                    / untraced_median if untraced_median else 0.0)
+    payload = {
+        "dataset": dataset,
+        "graph": {"n": graph.n, "m": graph.m, "scale": scale},
+        "sources": [int(s) for s in sources],
+        "repeats": repeats,
+        "untraced_median_seconds": untraced_median,
+        "traced_median_seconds": traced_median,
+        "overhead_pct": overhead_pct,
+        "overhead_limit_pct": 100.0 * overhead_limit,
+        "grace_seconds": grace_seconds,
+        "within_budget": traced_median <= budget,
+        "trace_summary": aggregate_traces(traces),
+        "traces": [trace_to_dict(t) for t in traces],
+    }
+    Path(out_path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+    return payload
+
+
+def _ci_main(argv=None):
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="kernel benchmarks / CI perf smoke"
+    )
+    parser.add_argument("--ci", action="store_true",
+                        help="run the reduced perf-smoke mode")
+    parser.add_argument("--out", default="BENCH_ci.json")
+    parser.add_argument("--dataset", default="pokec")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--sources", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--overhead-limit", type=float, default=0.05)
+    args = parser.parse_args(argv)
+    if not args.ci:
+        parser.error("pass --ci (pytest runs the bench_* functions)")
+    payload = run_ci_smoke(
+        args.out, dataset=args.dataset, scale=args.scale,
+        num_sources=args.sources, repeats=args.repeats,
+        overhead_limit=args.overhead_limit,
+    )
+    print(f"perf smoke: untraced={payload['untraced_median_seconds']:.4f}s "
+          f"traced={payload['traced_median_seconds']:.4f}s "
+          f"overhead={payload['overhead_pct']:+.2f}% "
+          f"(limit {payload['overhead_limit_pct']:.0f}%) "
+          f"-> {args.out}")
+    if not payload["within_budget"]:
+        print("perf smoke FAILED: tracing overhead exceeds budget",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_ci_main())

@@ -26,6 +26,7 @@ from repro.core import (
     resacc,
 )
 from repro.graph import CSRGraph, from_edges, hop_structure
+from repro.obs import QueryTrace
 from repro.service import QueryEngine
 
 __version__ = "1.0.0"
@@ -34,6 +35,7 @@ __all__ = [
     "AccuracyParams",
     "CSRGraph",
     "QueryEngine",
+    "QueryTrace",
     "ResAccParams",
     "SSRWRResult",
     "__version__",

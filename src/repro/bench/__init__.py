@@ -7,8 +7,11 @@ from repro.bench.harness import (
     BenchConfig,
     GroundTruthCache,
     SolverRun,
+    export_suite_traces,
     run_suite,
+    suite_traces,
     timed,
+    traced_solver,
     truths_for,
 )
 from repro.bench.report import Series, Table, render_all
@@ -27,8 +30,11 @@ __all__ = [
     "Series",
     "SolverRun",
     "Table",
+    "export_suite_traces",
     "render_all",
     "run_suite",
+    "suite_traces",
     "timed",
+    "traced_solver",
     "truths_for",
 ]

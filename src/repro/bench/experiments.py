@@ -478,7 +478,14 @@ def run_fig7_10(cfg=None):
 # Table VII -- per-phase breakdown of ResAcc
 # ----------------------------------------------------------------------
 def run_table7(cfg=None):
-    """Time spent in each ResAcc phase per dataset."""
+    """Time spent in each ResAcc phase per dataset.
+
+    A thin consumer of the observability layer: each query runs with a
+    :class:`repro.obs.QueryTrace` and the table rows come straight out of
+    :func:`repro.obs.export.aggregate_traces` -- no hand-rolled timing.
+    """
+    from repro.obs import QueryTrace, aggregate_traces
+
     cfg = cfg or BenchConfig()
     table = Table(
         title="Table VII -- ResAcc per-phase query time (seconds)",
@@ -489,18 +496,19 @@ def run_table7(cfg=None):
         graph = _load(cfg, name)
         accuracy = cfg.accuracy_for(graph)
         params = ResAccParams(alpha=ALPHA, h=catalog.bench_h(name))
-        sources = cfg.sources_for(graph)
-        phases = {"hhopfwd": [], "omfwd": [], "remedy": []}
-        for source in sources:
-            result = resacc(graph, source, params=params, accuracy=accuracy,
-                            rng=rng_for(cfg.seed, source))
-            for phase, seconds in result.phase_seconds.items():
-                phases[phase].append(seconds)
-        means = {p: float(np.mean(v)) for p, v in phases.items()}
+        traces = []
+        for source in cfg.sources_for(graph):
+            trace = QueryTrace()
+            resacc(graph, source, params=params, accuracy=accuracy,
+                   rng=rng_for(cfg.seed, source), trace=trace)
+            traces.append(trace)
+        summary = aggregate_traces(traces)
+        means = {p: summary["phases"][p]["mean_seconds"]
+                 for p in ("hhopfwd", "omfwd", "remedy")}
         total = sum(means.values())
         table.add_row(
             name, means["hhopfwd"], means["omfwd"], means["remedy"], total,
-            *(round(100.0 * means[p] / total, 2) if total else 0.0
+            *(round(summary["phases"][p]["share_pct"], 2) if total else 0.0
               for p in ("hhopfwd", "omfwd", "remedy")),
         )
     table.add_note(_delta_note(cfg))

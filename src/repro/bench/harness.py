@@ -104,6 +104,7 @@ class SolverRun:
     name: str
     seconds: list = field(default_factory=list)
     estimates: list = field(default_factory=list)
+    traces: list = field(default_factory=list)
 
     @property
     def mean_seconds(self):
@@ -147,7 +148,10 @@ def run_suite(graph, sources, solvers, *, keep_estimates=True):
     """Run every solver on every source.
 
     ``solvers`` maps name -> callable ``(graph, source) -> SSRWRResult``.
-    Returns ``{name: SolverRun}``.
+    Returns ``{name: SolverRun}``.  Results that carry a populated
+    ``.trace`` (solvers built with :func:`traced_solver`, or any callable
+    that passes a :class:`repro.obs.QueryTrace` itself) have their traces
+    collected on the corresponding :class:`SolverRun`.
     """
     runs = {name: SolverRun(name=name) for name in solvers}
     for source in sources:
@@ -156,7 +160,44 @@ def run_suite(graph, sources, solvers, *, keep_estimates=True):
             runs[name].seconds.append(seconds)
             if keep_estimates:
                 runs[name].estimates.append(result.estimates)
+            trace = getattr(result, "trace", None)
+            if trace is not None:
+                runs[name].traces.append(trace)
     return runs
+
+
+def traced_solver(solver):
+    """Wrap ``(graph, source, trace=...)`` so every call gets a fresh
+    :class:`repro.obs.QueryTrace` (collected by :func:`run_suite`)."""
+    from repro.obs import QueryTrace
+
+    def run(graph, source):
+        return solver(graph, source, trace=QueryTrace())
+    return run
+
+
+def suite_traces(runs):
+    """All traces across a :func:`run_suite` result, flattened in order."""
+    traces = []
+    for run in runs.values():
+        traces.extend(run.traces)
+    return traces
+
+
+def export_suite_traces(runs, path, *, experiment=None):
+    """Write every collected trace as one machine-readable JSON document.
+
+    The document is :func:`repro.obs.export.save_traces` format; per-run
+    aggregates (p50/p95 per phase) are embedded in its ``meta`` so a CI
+    job can read headline numbers without re-aggregating.
+    """
+    from repro.obs.export import aggregate_traces, save_traces
+
+    meta = {"experiment": experiment, "solvers": {}}
+    for name, run in runs.items():
+        if run.traces:
+            meta["solvers"][name] = aggregate_traces(run.traces)
+    return save_traces(suite_traces(runs), path, meta=meta)
 
 
 def truths_for(cache, graph, sources):

@@ -6,6 +6,8 @@ Examples::
     repro-bench run table3 --fast
     repro-bench run fig4 --scale 0.5 --sources 10
     repro-bench run all --fast
+    repro-bench query dblp 0 --top 5 --trace
+    repro-bench query pokec 42 --scale 0.25 --trace-json trace.json
 """
 
 from __future__ import annotations
@@ -34,6 +36,22 @@ def build_parser():
     compare_cmd.add_argument("baseline")
     compare_cmd.add_argument("candidate")
     compare_cmd.add_argument("--min-ratio", type=float, default=1.25)
+    query_cmd = sub.add_parser(
+        "query", help="answer one SSRWR query (optionally traced)"
+    )
+    query_cmd.add_argument("dataset", help="dataset name from the catalog")
+    query_cmd.add_argument("source", type=int, help="query node id")
+    query_cmd.add_argument("--scale", type=float, default=1.0,
+                           help="dataset scale factor")
+    query_cmd.add_argument("--top", type=int, default=10,
+                           help="number of top estimates to print")
+    query_cmd.add_argument("--seed", type=int, default=0)
+    query_cmd.add_argument("--delta-scale", type=float, default=1.0,
+                           help="relax delta to this multiple of 1/n")
+    query_cmd.add_argument("--trace", action="store_true",
+                           help="print the per-phase trace breakdown")
+    query_cmd.add_argument("--trace-json", metavar="PATH", default=None,
+                           help="write the full QueryTrace as JSON")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment",
                      help="experiment id from 'list', or 'all'")
@@ -76,6 +94,8 @@ def main(argv=None):
     if args.command == "datasets":
         _print_datasets(args.scale)
         return 0
+    if args.command == "query":
+        return _run_query(args)
     if args.command == "compare":
         from repro.bench.compare import compare_files
 
@@ -110,6 +130,44 @@ def main(argv=None):
                     f"{target.stem}-{name}{target.suffix or '.json'}"
                 )
             export_json(artifacts, target, experiment=name)
+    return 0
+
+
+def _run_query(args):
+    from repro.core.params import AccuracyParams
+    from repro.core.resacc import resacc
+    from repro.datasets import catalog
+    from repro.errors import ParameterError
+    from repro.obs import QueryTrace, save_traces
+
+    try:
+        graph = catalog.load(args.dataset, scale=args.scale)
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    accuracy = AccuracyParams.paper_defaults(
+        graph.n, delta_scale=args.delta_scale
+    )
+    trace = QueryTrace() if (args.trace or args.trace_json) else None
+    try:
+        result = resacc(graph, args.source, accuracy=accuracy,
+                        seed=args.seed, trace=trace)
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    nodes, values = result.top_k(args.top)
+    print(f"{args.dataset} (n={graph.n}, m={graph.m}) "
+          f"source={args.source} seed={args.seed}")
+    for node, value in zip(nodes, values):
+        print(f"  {int(node):>10d}  {float(value):.6e}")
+    if args.trace:
+        print()
+        print(trace.render())
+    if args.trace_json:
+        path = save_traces([trace], args.trace_json,
+                           meta={"dataset": args.dataset,
+                                 "scale": args.scale})
+        print(f"\ntrace written to {path}")
     return 0
 
 

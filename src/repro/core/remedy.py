@@ -36,7 +36,7 @@ class RemedyOutcome:
 
 
 def remedy(graph, residue, alpha, accuracy, rng, *, source=None,
-           walk_scale=1.0, estimator="terminal"):
+           walk_scale=1.0, estimator="terminal", trace=None):
     """Run the remedy phase; the residue vector is not modified.
 
     ``walk_scale`` multiplies ``n_r`` -- the paper's fair-comparison
@@ -46,18 +46,24 @@ def remedy(graph, residue, alpha, accuracy, rng, *, source=None,
     ``estimator="visits"`` opts into the visit-count sampler (unbiased,
     empirically lower variance; the Theorem-3 constant is proven for the
     default ``"terminal"`` estimator).
+
+    ``trace`` is an optional :class:`repro.obs.QueryTrace`; the walk
+    budget and actual walk totals are flushed into it once.
     """
     if walk_scale < 0:
         raise ParameterError(f"walk_scale must be >= 0, got {walk_scale}")
     r_sum = residue_sum(residue)
     n_r = int(np.ceil(accuracy.num_walks(r_sum) * walk_scale))
+    if trace is not None:
+        trace.add_counters(walk_budget=max(n_r, 0))
     if r_sum <= 0.0 or n_r <= 0:
         return RemedyOutcome(
             mass=np.zeros(graph.n, dtype=np.float64),
             walks_used=0, r_sum=r_sum, n_r=0,
         )
     mass, walks_used = residue_weighted_walks(
-        graph, residue, n_r, alpha, rng, source=source, estimator=estimator
+        graph, residue, n_r, alpha, rng, source=source, estimator=estimator,
+        trace=trace,
     )
     return RemedyOutcome(mass=mass, walks_used=walks_used,
                          r_sum=r_sum, n_r=n_r)

@@ -26,11 +26,12 @@ from repro.core.params import AccuracyParams, ResAccParams
 from repro.core.remedy import remedy
 from repro.core.result import SSRWRResult
 from repro.errors import ParameterError
+from repro.obs.trace import NULL_TRACE
 from repro.push.forward import init_state
 
 
 def resacc(graph, source, *, params=None, accuracy=None, rng=None, seed=0,
-           walk_scale=1.0, estimator="terminal"):
+           walk_scale=1.0, estimator="terminal", trace=None):
     """Answer an approximate SSRWR query with ResAcc.
 
     Parameters
@@ -55,6 +56,12 @@ def resacc(graph, source, *, params=None, accuracy=None, rng=None, seed=0,
         ``"terminal"`` (paper-faithful, Theorem 3's constants) or
         ``"visits"`` (visit-count sampler; unbiased, empirically
         lower-variance, ``"absorb"`` policy only).
+    trace:
+        Optional :class:`repro.obs.QueryTrace`.  When supplied it is
+        populated with per-phase wall time, push/walk counters and
+        residue-mass snapshots, and attached to the result's
+        ``.trace``.  The estimates are byte-identical either way: the
+        trace only observes, it never participates in the arithmetic.
 
     Returns an :class:`SSRWRResult` whose ``phase_seconds`` carries the
     Table VII breakdown (``hhopfwd`` / ``omfwd`` / ``remedy``).
@@ -63,32 +70,48 @@ def resacc(graph, source, *, params=None, accuracy=None, rng=None, seed=0,
         raise ParameterError(f"source {source} out of range for n={graph.n}")
     params = params or ResAccParams()
     accuracy = accuracy or AccuracyParams.paper_defaults(graph.n)
+    rng_seed = None if rng is not None else int(seed)
     rng = rng if rng is not None else np.random.default_rng(seed)
     r_max_f = params.bound_r_max_f(graph)
+    trace = trace if trace is not None else NULL_TRACE
+    trace.note(
+        algorithm="resacc", source=int(source), n=graph.n, m=graph.m,
+        seed=rng_seed, alpha=params.alpha, h=params.h,
+        r_max_hop=params.r_max_hop, r_max_f=r_max_f,
+        push_method=params.push_method, eps=accuracy.eps,
+        delta=accuracy.delta, p_f=accuracy.p_f,
+        walk_scale=walk_scale, estimator=estimator,
+    )
 
     reserve, residue = init_state(graph, source)
 
+    trace.begin_phase("hhopfwd", residue)
     tic = time.perf_counter()
     hhop = h_hop_forward(
         graph, source, params.alpha, params.r_max_hop, params.h,
-        reserve, residue, method=params.push_method,
+        reserve, residue, method=params.push_method, trace=trace,
     )
     t_hhop = time.perf_counter() - tic
+    trace.end_phase(residue)
     r_sum_hop = hop_residue_sum(residue, hhop.hops, params.h)
 
+    trace.begin_phase("omfwd", residue)
     tic = time.perf_counter()
     om_stats = omfwd(
         graph, reserve, residue, params.alpha, r_max_f,
         boundary_nodes=hhop.boundary_nodes, source=source,
-        method=params.push_method,
+        method=params.push_method, trace=trace,
     )
     t_omfwd = time.perf_counter() - tic
+    trace.end_phase(residue)
 
+    trace.begin_phase("remedy", residue)
     tic = time.perf_counter()
     outcome = remedy(graph, residue, params.alpha, accuracy, rng,
                      source=source, walk_scale=walk_scale,
-                     estimator=estimator)
+                     estimator=estimator, trace=trace)
     t_remedy = time.perf_counter() - tic
+    trace.end_phase(residue)
 
     estimates = reserve + outcome.mass
     return SSRWRResult(
@@ -113,4 +136,5 @@ def resacc(graph, source, *, params=None, accuracy=None, rng=None, seed=0,
             "r_max_f": r_max_f,
             "post_remedy_residue": residue_sum(residue),
         },
+        trace=trace or None,
     )

@@ -30,6 +30,9 @@ class SSRWRResult:
         "omfwd": .., "remedy": ..}`` for ResAcc (Table VII).
     extras:
         Solver-specific diagnostics (residue sums, thresholds, ...).
+    trace:
+        The :class:`repro.obs.QueryTrace` populated during the query, or
+        ``None`` when tracing was disabled.
     """
 
     source: int
@@ -40,6 +43,7 @@ class SSRWRResult:
     pushes: int = 0
     phase_seconds: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
+    trace: object | None = None
 
     @property
     def total_seconds(self):
@@ -79,6 +83,7 @@ class SSRWRResult:
             algorithm=self.algorithm, walks_used=self.walks_used,
             pushes=self.pushes, phase_seconds=dict(self.phase_seconds),
             extras={**self.extras, "renormalized_from": total},
+            trace=self.trace,
         )
 
     def __repr__(self):

@@ -23,3 +23,8 @@ class ParameterError(ReproError):
 
 class ConvergenceError(ReproError):
     """Raised when an iterative solver fails to converge within its budget."""
+
+
+class TraceError(ReproError):
+    """Raised on misuse of the observability layer (unbalanced phases,
+    malformed trace documents)."""

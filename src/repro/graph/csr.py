@@ -160,12 +160,10 @@ class CSRGraph:
             rev_indptr = np.zeros(self.n + 1, dtype=np.int64)
             np.cumsum(counts, out=rev_indptr[1:])
             rev_indices = np.empty(self.m, dtype=np.int64)
-            cursor = rev_indptr[:-1].copy()
             sources = np.repeat(np.arange(self.n, dtype=np.int64), self.out_degrees)
             # Stable counting-sort placement of each edge under its target.
             order = np.argsort(self.indices, kind="stable")
             rev_indices[:] = sources[order]
-            del cursor  # placement is fully determined by the stable sort
             self._rev_indptr = rev_indptr
             self._rev_indices = rev_indices
         return self._rev_indptr, self._rev_indices

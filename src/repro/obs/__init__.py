@@ -1,0 +1,34 @@
+"""Query-level observability: phase timers, op counters, structured traces.
+
+The package has two halves:
+
+* :mod:`repro.obs.trace` -- the :class:`QueryTrace` object threaded
+  through solvers via their optional ``trace=`` argument, and the
+  zero-cost :data:`NULL_TRACE` singleton used when tracing is off;
+* :mod:`repro.obs.export` -- JSON round-tripping and percentile
+  aggregation of trace batches (what the CI perf-smoke job and the
+  Table VII benchmark consume).
+
+See ``docs/observability.md`` for the trace schema and CLI flags.
+"""
+
+from repro.obs.export import (
+    aggregate_traces,
+    load_traces,
+    save_traces,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.obs.trace import NULL_TRACE, NullTrace, PhaseRecord, QueryTrace
+
+__all__ = [
+    "NULL_TRACE",
+    "NullTrace",
+    "PhaseRecord",
+    "QueryTrace",
+    "aggregate_traces",
+    "load_traces",
+    "save_traces",
+    "trace_from_dict",
+    "trace_to_dict",
+]

@@ -1,0 +1,165 @@
+"""Serialize and aggregate query traces.
+
+Traces round-trip through plain dicts (:func:`trace_to_dict` /
+:func:`trace_from_dict`) and batches of them persist as one JSON
+document (:func:`save_traces` / :func:`load_traces`).
+
+:func:`aggregate_traces` reduces a batch to per-phase percentile
+summaries (p50/p95 wall time, counter totals) -- the shape the CI
+perf-smoke job and ``bench_table7_breakdown`` consume, so neither has to
+re-time phases by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.obs.trace import PhaseRecord, QueryTrace
+
+#: File-format marker written by :func:`save_traces`.
+TRACE_DOCUMENT_KIND = "repro-query-traces"
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        if value != value:                     # NaN
+            return None
+        if value in (float("inf"), float("-inf")):
+            return str(value)
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    item = getattr(value, "item", None)        # numpy scalars
+    if callable(item):
+        return _json_safe(item())
+    return str(value)
+
+
+def trace_to_dict(trace):
+    """A JSON-safe dict capturing one :class:`QueryTrace` completely."""
+    return {
+        "meta": _json_safe(trace.meta),
+        "counters": _json_safe(trace.counters),
+        "phases": [
+            {
+                "name": record.name,
+                "seconds": float(record.seconds),
+                "counters": _json_safe(record.counters),
+                "residue_before": _json_safe(record.residue_before),
+                "residue_after": _json_safe(record.residue_after),
+            }
+            for record in trace.phases
+        ],
+    }
+
+
+def trace_from_dict(data):
+    """Rebuild a :class:`QueryTrace` from :func:`trace_to_dict` output."""
+    trace = QueryTrace(**data.get("meta", {}))
+    trace.counters = dict(data.get("counters", {}))
+    for phase in data.get("phases", []):
+        trace.phases.append(PhaseRecord(
+            name=phase["name"],
+            seconds=float(phase.get("seconds", 0.0)),
+            counters=dict(phase.get("counters", {})),
+            residue_before=phase.get("residue_before"),
+            residue_after=phase.get("residue_after"),
+        ))
+    return trace
+
+
+def save_traces(traces, path, *, meta=None):
+    """Write a batch of traces as one JSON document; returns the path."""
+    payload = {
+        "kind": TRACE_DOCUMENT_KIND,
+        "meta": _json_safe(meta or {}),
+        "traces": [trace_to_dict(t) for t in traces],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_traces(path):
+    """Read back the traces written by :func:`save_traces`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("kind") != TRACE_DOCUMENT_KIND:
+        raise TraceError(
+            f"{path} is not a trace document "
+            f"(kind={payload.get('kind')!r})"
+        )
+    return [trace_from_dict(d) for d in payload["traces"]]
+
+
+def aggregate_traces(traces, *, percentiles=(50, 95)):
+    """Reduce traces to per-phase percentile summaries.
+
+    Returns a JSON-safe dict::
+
+        {
+          "queries": N,
+          "total_seconds": {"mean": .., "p50": .., "p95": ..},
+          "phases": {
+            "hhopfwd": {"count": .., "mean_seconds": .., "p50_seconds": ..,
+                        "p95_seconds": .., "total_seconds": ..,
+                        "share_pct": .., "counters": {..sums..}},
+            ...
+          },
+          "counters": {..sums across all phases and traces..},
+        }
+
+    Phase order follows first appearance across the batch.
+    """
+    traces = list(traces)
+    if not traces:
+        raise TraceError("aggregate_traces needs at least one trace")
+    per_phase_seconds = {}
+    per_phase_counters = {}
+    per_phase_count = {}
+    totals = []
+    counters = {}
+    for trace in traces:
+        totals.append(trace.total_seconds)
+        for key, value in trace.counter_totals.items():
+            counters[key] = counters.get(key, 0) + value
+        for record in trace.phases:
+            per_phase_seconds.setdefault(record.name, []).append(
+                record.seconds
+            )
+            per_phase_count[record.name] = \
+                per_phase_count.get(record.name, 0) + 1
+            bucket = per_phase_counters.setdefault(record.name, {})
+            for key, value in record.counters.items():
+                bucket[key] = bucket.get(key, 0) + value
+    grand_total = float(sum(totals)) or 1.0
+    phases = {}
+    for name, seconds in per_phase_seconds.items():
+        arr = np.asarray(seconds, dtype=np.float64)
+        entry = {
+            "count": per_phase_count[name],
+            "mean_seconds": float(arr.mean()),
+            "total_seconds": float(arr.sum()),
+            "share_pct": float(100.0 * arr.sum() / grand_total),
+            "counters": _json_safe(per_phase_counters.get(name, {})),
+        }
+        for p in percentiles:
+            entry[f"p{p:g}_seconds"] = float(np.percentile(arr, p))
+        phases[name] = entry
+    total_arr = np.asarray(totals, dtype=np.float64)
+    total_summary = {"mean": float(total_arr.mean())}
+    for p in percentiles:
+        total_summary[f"p{p:g}"] = float(np.percentile(total_arr, p))
+    return {
+        "queries": len(traces),
+        "total_seconds": total_summary,
+        "phases": phases,
+        "counters": _json_safe(counters),
+    }

@@ -1,0 +1,247 @@
+"""Structured query traces: phase timers, op counters, residue snapshots.
+
+A :class:`QueryTrace` is threaded through the ResAcc pipeline (and any
+other solver that opts in) via an optional ``trace=`` argument.  The
+instrumented code calls three kinds of hooks:
+
+* ``begin_phase(name, residue)`` / ``end_phase(residue, **counters)`` at
+  phase boundaries -- these record wall time and the residue mass
+  entering/leaving the phase;
+* ``add_counters(**counters)`` once per kernel invocation -- counters are
+  flushed from the existing :class:`repro.push.PushStats` (and the walk
+  engine's totals) *after* a kernel returns, never inside its hot loop;
+* ``note(**meta)`` for query-level metadata (source, RNG seed,
+  parameters).
+
+When tracing is off the pipeline receives :data:`NULL_TRACE`, a no-op
+singleton: every hook is an empty method, so the disabled path costs one
+attribute call per phase and performs no arithmetic -- estimates are
+byte-identical to an un-instrumented run (asserted by
+``tests/test_obs_trace.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+def _mass(residue):
+    """Total positive mass of a residue vector (JSON-safe float)."""
+    residue = np.asarray(residue)
+    positive = residue[residue > 0.0]
+    return float(positive.sum())
+
+
+@dataclass
+class PhaseRecord:
+    """Measurements of one pipeline phase within one query.
+
+    Attributes
+    ----------
+    name:
+        Phase identifier (``"hhopfwd"``, ``"omfwd"``, ``"remedy"``).
+    seconds:
+        Wall-clock time between ``begin_phase`` and ``end_phase``.
+    counters:
+        Operation counts flushed by the kernels that ran inside the
+        phase (``pushes``, ``push_rounds``, ``frontier_peak``,
+        ``walks``, ...).  Values are summed when a counter is flushed
+        more than once.
+    residue_before / residue_after:
+        Total residue mass entering and leaving the phase (``None``
+        when the caller did not supply the residue vector).
+    """
+
+    name: str
+    seconds: float = 0.0
+    counters: dict = field(default_factory=dict)
+    residue_before: float | None = None
+    residue_after: float | None = None
+
+
+class NullTrace:
+    """No-op stand-in used whenever tracing is disabled.
+
+    Shares :class:`QueryTrace`'s hook surface but does nothing; it is
+    falsy so ``trace or None`` maps the disabled path back to ``None``.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __bool__(self):
+        return False
+
+    def note(self, **meta):
+        """Ignore query-level metadata."""
+
+    def begin_phase(self, name, residue=None):
+        """Ignore a phase start."""
+
+    def end_phase(self, residue=None, **counters):
+        """Ignore a phase end."""
+
+    def add_counters(self, **counters):
+        """Ignore kernel counters."""
+
+
+#: The shared no-op instance handed to kernels when tracing is disabled.
+NULL_TRACE = NullTrace()
+
+
+class QueryTrace:
+    """Record of where one query spent its time and operations.
+
+    Create one, pass it as ``trace=`` to a solver, and read it back
+    afterwards (it is also attached to the returned result's ``.trace``):
+
+    >>> from repro import resacc
+    >>> from repro.obs import QueryTrace
+    >>> trace = QueryTrace()
+    >>> result = resacc(graph, 0, trace=trace)      # doctest: +SKIP
+    >>> trace.phase_seconds                         # doctest: +SKIP
+    {'hhopfwd': ..., 'omfwd': ..., 'remedy': ...}
+
+    Attributes
+    ----------
+    meta:
+        Query-level metadata (algorithm, source, seed, parameters).
+    phases:
+        Completed :class:`PhaseRecord` objects in execution order.
+    counters:
+        Counters flushed outside any phase (kernels invoked directly).
+    """
+
+    enabled = True
+
+    def __init__(self, **meta):
+        self.meta = dict(meta)
+        self.phases = []
+        self.counters = {}
+        self._open = None
+        self._tic = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by instrumented code)
+    # ------------------------------------------------------------------
+    def note(self, **meta):
+        """Merge query-level metadata (parameters, seed, graph size)."""
+        self.meta.update(meta)
+
+    def begin_phase(self, name, residue=None):
+        """Open a phase; snapshots the residue mass if one is passed."""
+        if self._open is not None:
+            raise TraceError(
+                f"cannot begin phase {name!r}: phase "
+                f"{self._open.name!r} is still open"
+            )
+        record = PhaseRecord(name=str(name))
+        if residue is not None:
+            record.residue_before = _mass(residue)
+        self._open = record
+        self._tic = time.perf_counter()
+        return record
+
+    def end_phase(self, residue=None, **counters):
+        """Close the open phase, recording wall time and final mass."""
+        record = self._open
+        if record is None:
+            raise TraceError("end_phase called with no open phase")
+        record.seconds = time.perf_counter() - self._tic
+        if residue is not None:
+            record.residue_after = _mass(residue)
+        for key, value in counters.items():
+            record.counters[key] = record.counters.get(key, 0) + value
+        self.phases.append(record)
+        self._open = None
+        return record
+
+    def add_counters(self, **counters):
+        """Flush kernel counters into the open phase (summed).
+
+        Kernels call this once per invocation with totals taken from
+        their existing stats objects; counters flushed while no phase is
+        open land in the trace-level :attr:`counters` dict instead.
+        """
+        target = self._open.counters if self._open is not None \
+            else self.counters
+        for key, value in counters.items():
+            target[key] = target.get(key, 0) + value
+
+    # ------------------------------------------------------------------
+    # Read-back helpers
+    # ------------------------------------------------------------------
+    @property
+    def phase_seconds(self):
+        """``{phase name: wall seconds}`` (summed over repeats)."""
+        seconds = {}
+        for record in self.phases:
+            seconds[record.name] = seconds.get(record.name, 0.0) \
+                + record.seconds
+        return seconds
+
+    @property
+    def total_seconds(self):
+        """Wall time across all recorded phases."""
+        return float(sum(r.seconds for r in self.phases))
+
+    @property
+    def counter_totals(self):
+        """All counters summed across phases plus trace-level ones."""
+        totals = dict(self.counters)
+        for record in self.phases:
+            for key, value in record.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def phase(self, name):
+        """The first completed :class:`PhaseRecord` with this name."""
+        for record in self.phases:
+            if record.name == name:
+                return record
+        raise TraceError(f"no completed phase named {name!r}")
+
+    def summary(self):
+        """A compact JSON-safe dict (what the service attaches to stats)."""
+        return {
+            "meta": dict(self.meta),
+            "total_seconds": self.total_seconds,
+            "phase_seconds": self.phase_seconds,
+            "counters": self.counter_totals,
+        }
+
+    def render(self):
+        """Human-readable multi-line description of the trace."""
+        lines = []
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(self.meta.items()))
+        if meta:
+            lines.append(f"query: {meta}")
+        total = self.total_seconds or 1.0
+        for record in self.phases:
+            share = 100.0 * record.seconds / total
+            counters = ", ".join(
+                f"{k}={v}" for k, v in sorted(record.counters.items())
+            )
+            residues = ""
+            if record.residue_before is not None:
+                residues = (f"  residue {record.residue_before:.3e}"
+                            f" -> {record.residue_after:.3e}"
+                            if record.residue_after is not None
+                            else f"  residue in {record.residue_before:.3e}")
+            lines.append(
+                f"  {record.name:<10s} {record.seconds * 1e3:9.3f} ms"
+                f" ({share:5.1f}%)  {counters}{residues}"
+            )
+        lines.append(f"  {'total':<10s} {self.total_seconds * 1e3:9.3f} ms")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        names = [r.name for r in self.phases]
+        return (f"QueryTrace(phases={names}, "
+                f"total_seconds={self.total_seconds:.6f})")

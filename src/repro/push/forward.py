@@ -34,15 +34,21 @@ from repro.graph.hop import expand_ranges
 
 @dataclass
 class PushStats:
-    """Work counters for a push run."""
+    """Work counters for a push run.
+
+    ``max_frontier`` is the largest number of nodes pushed in one round
+    (only the frontier scheduler has rounds wider than one node).
+    """
 
     pushes: int = 0
     rounds: int = 0
+    max_frontier: int = 0
 
     def merge(self, other):
         """Accumulate another run's counters into this one."""
         self.pushes += other.pushes
         self.rounds += other.rounds
+        self.max_frontier = max(self.max_frontier, other.max_frontier)
         return self
 
 
@@ -81,7 +87,8 @@ def single_push(graph, node, reserve, residue, alpha, *, source=None):
 
 def forward_push_loop(graph, reserve, residue, alpha, r_max, *,
                       can_push=None, source=None, seeds=None,
-                      method="frontier", max_pushes=None):
+                      method="frontier", max_pushes=None,
+                      trace=None):
     """Push until no eligible node satisfies the push condition.
 
     Parameters
@@ -104,20 +111,29 @@ def forward_push_loop(graph, reserve, residue, alpha, r_max, *,
         per-push overhead).
     max_pushes:
         Safety budget; exceeding it raises :class:`ConvergenceError`.
+    trace:
+        Optional :class:`repro.obs.QueryTrace`; the run's counters are
+        flushed into it once, after the loop terminates (never from
+        inside the hot loop).
 
     Returns :class:`PushStats`.
     """
     _check_common(graph, alpha, r_max, source)
     if method == "frontier":
-        return _frontier_loop(graph, reserve, residue, alpha, r_max,
-                              can_push, source, max_pushes)
-    if method == "queue":
-        return _queue_loop(graph, reserve, residue, alpha, r_max,
-                           can_push, source, seeds, max_pushes)
-    if method == "priority":
-        return _priority_loop(graph, reserve, residue, alpha, r_max,
-                              can_push, source, max_pushes)
-    raise ParameterError(f"unknown push method {method!r}")
+        stats = _frontier_loop(graph, reserve, residue, alpha, r_max,
+                               can_push, source, max_pushes)
+    elif method == "queue":
+        stats = _queue_loop(graph, reserve, residue, alpha, r_max,
+                            can_push, source, seeds, max_pushes)
+    elif method == "priority":
+        stats = _priority_loop(graph, reserve, residue, alpha, r_max,
+                               can_push, source, max_pushes)
+    else:
+        raise ParameterError(f"unknown push method {method!r}")
+    if trace is not None:
+        trace.add_counters(pushes=stats.pushes, push_rounds=stats.rounds,
+                           frontier_peak=stats.max_frontier)
+    return stats
 
 
 def _check_common(graph, alpha, r_max, source):
@@ -155,6 +171,8 @@ def _frontier_loop(graph, reserve, residue, alpha, r_max, can_push, source,
             return stats
         stats.rounds += 1
         stats.pushes += int(active.size)
+        if active.size > stats.max_frontier:
+            stats.max_frontier = int(active.size)
         if max_pushes is not None and stats.pushes > max_pushes:
             raise ConvergenceError(
                 f"forward push exceeded budget of {max_pushes} pushes"
@@ -239,6 +257,7 @@ def _priority_loop(graph, reserve, residue, alpha, r_max, can_push, source,
         for u in hot.tolist():
             heapq.heappush(heap, (-residue[u] / thresholds[u], u))
     stats.rounds = 1
+    stats.max_frontier = 1 if stats.pushes else 0
     return stats
 
 
@@ -301,4 +320,5 @@ def _queue_loop(graph, reserve, residue, alpha, r_max, can_push, source,
             queue.append(u)
         in_queue[hot] = True
     stats.rounds = 1
+    stats.max_frontier = 1 if stats.pushes else 0
     return stats

@@ -27,6 +27,7 @@ from repro.core.params import AccuracyParams
 from repro.core.resacc import resacc
 from repro.errors import ParameterError
 from repro.graph.builder import GraphBuilder
+from repro.obs.trace import QueryTrace
 
 
 @dataclass
@@ -59,10 +60,16 @@ class QueryEngine:
         paper's accuracy for the current graph size.
     cache_size:
         Maximum number of per-source results kept (LRU eviction).
+    trace:
+        When true, every solver miss runs with a fresh
+        :class:`repro.obs.QueryTrace`; the result carries it on
+        ``.trace`` and the latest summary is attached to
+        ``stats.extras["last_trace"]``.  Cache hits return the original
+        traced result unchanged.
     """
 
     def __init__(self, graph, *, solver=None, accuracy=None,
-                 cache_size=256, seed=0):
+                 cache_size=256, seed=0, trace=False):
         if cache_size < 0:
             raise ParameterError(f"cache_size must be >= 0, got {cache_size}")
         self._builder = GraphBuilder(graph=graph)
@@ -72,12 +79,14 @@ class QueryEngine:
         self._solver = solver or self._default_solver
         self._cache_size = int(cache_size)
         self._cache = OrderedDict()
+        self._trace_enabled = bool(trace)
         self.stats = ServiceStats()
 
     def _default_solver(self, graph, source):
         accuracy = self._accuracy or AccuracyParams.paper_defaults(graph.n)
+        trace = QueryTrace() if self._trace_enabled else None
         return resacc(graph, source, accuracy=accuracy,
-                      seed=self._seed + source)
+                      seed=self._seed + source, trace=trace)
 
     # ------------------------------------------------------------------
     # Queries
@@ -105,6 +114,9 @@ class QueryEngine:
         tic = time.perf_counter()
         result = self._solver(self.graph, source)
         self.stats.solver_seconds += time.perf_counter() - tic
+        trace = getattr(result, "trace", None)
+        if trace is not None:
+            self.stats.extras["last_trace"] = trace.summary()
         if self._cache_size:
             self._cache[source] = result
             while len(self._cache) > self._cache_size:
@@ -114,6 +126,11 @@ class QueryEngine:
     def top_k(self, source, k):
         """``(nodes, values)`` of the top-k estimates for ``source``."""
         return self.query(source).top_k(k)
+
+    @property
+    def last_trace(self):
+        """Summary dict of the most recent traced solver run, or ``None``."""
+        return self.stats.extras.get("last_trace")
 
     def recommend(self, source, k, *, exclude_neighbors=True):
         """Top-k nodes excluding the source (and optionally its

@@ -139,7 +139,7 @@ def walks_from_single_source(graph, source, num_walks, alpha, rng,
 
 
 def residue_weighted_walks(graph, residue, total_walks, alpha, rng, *,
-                           source=None, estimator="terminal"):
+                           source=None, estimator="terminal", trace=None):
     """The remedy-phase sampler shared by ResAcc and FORA (Algorithm 2).
 
     Each node ``v`` with positive residue launches
@@ -155,6 +155,9 @@ def residue_weighted_walks(graph, residue, total_walks, alpha, rng, *,
     proven for the terminal estimator, so the default stays faithful.
     The visits estimator requires the ``"absorb"`` policy.
 
+    ``trace`` is an optional :class:`repro.obs.QueryTrace`; walk totals
+    are flushed into it once, after the batch completes.
+
     Returns ``(mass, walks_used)``.
     """
     if estimator not in ("terminal", "visits"):
@@ -164,6 +167,8 @@ def residue_weighted_walks(graph, residue, total_walks, alpha, rng, *,
     residue = np.asarray(residue, dtype=np.float64)
     positive = np.flatnonzero(residue > 0.0)
     if positive.size == 0 or total_walks <= 0:
+        if trace is not None:
+            trace.add_counters(walks=0, walk_origins=0)
         return np.zeros(graph.n, dtype=np.float64), 0
     r_pos = residue[positive]
     r_sum = float(r_pos.sum())
@@ -176,7 +181,11 @@ def residue_weighted_walks(graph, residue, total_walks, alpha, rng, *,
     else:
         mass = walk_terminal_mass(graph, starts, alpha, rng,
                                   weights=weights, source=source)
-    return mass, int(per_node.sum())
+    walks_used = int(per_node.sum())
+    if trace is not None:
+        trace.add_counters(walks=walks_used,
+                           walk_origins=int(positive.size))
+    return mass, walks_used
 
 
 def sample_walk_endpoints_batch(graph, starts, alpha, rng):

@@ -21,6 +21,7 @@ PUBLIC_MODULES = [
     "repro.datasets",
     "repro.graph",
     "repro.metrics",
+    "repro.obs",
     "repro.push",
     "repro.walks",
     "repro.weighted",

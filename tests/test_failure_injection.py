@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core import AccuracyParams, resacc
-from repro.errors import ConvergenceError, GraphFormatError, ParameterError
+from repro.errors import ConvergenceError, GraphFormatError
 from repro.graph import CSRGraph, from_edges, load_npz, save_npz
 from repro.push import forward_push_loop, init_state
 from repro.walks.engine import walk_terminal_mass

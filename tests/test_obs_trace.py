@@ -1,0 +1,220 @@
+"""Observability layer: trace population, zero-cost disabled path,
+JSON round-trips, aggregation, and the surfaces traces flow through."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    export_suite_traces,
+    run_suite,
+    suite_traces,
+    traced_solver,
+)
+from repro.core.hhop import h_hop_forward
+from repro.core.resacc import resacc
+from repro.errors import TraceError
+from repro.obs import (
+    NULL_TRACE,
+    QueryTrace,
+    aggregate_traces,
+    load_traces,
+    save_traces,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.push.forward import init_state
+from repro.service import QueryEngine
+
+PHASES = ("hhopfwd", "omfwd", "remedy")
+
+
+@pytest.fixture
+def traced_query(web_graph):
+    trace = QueryTrace()
+    result = resacc(web_graph, 0, seed=7, trace=trace)
+    return trace, result
+
+
+# ----------------------------------------------------------------------
+# (a) a full ResAcc query populates timings and counters
+# ----------------------------------------------------------------------
+
+def test_full_query_populates_phases_and_counters(traced_query):
+    trace, result = traced_query
+    assert [p.name for p in trace.phases] == list(PHASES)
+    for record in trace.phases:
+        assert record.seconds >= 0.0
+        assert record.residue_before is not None
+        assert record.residue_after is not None
+    assert trace.total_seconds > 0.0
+    hhop = trace.phase("hhopfwd")
+    assert hhop.counters["pushes"] >= 1
+    assert hhop.counters["hop_nodes"] >= 1
+    assert trace.phase("omfwd").counters["pushes"] >= 0
+    remedy = trace.phase("remedy")
+    assert remedy.counters["walk_budget"] >= 0
+    assert remedy.counters["walks"] == result.walks_used
+    # residue mass decreases monotonically through the push phases and
+    # starts from the unit residue at the source.
+    assert trace.phases[0].residue_before == pytest.approx(1.0)
+    assert trace.phases[0].residue_after >= trace.phases[1].residue_after
+    # counters aggregate: pushes recorded == result's push count
+    assert trace.counter_totals["pushes"] == result.pushes
+    # metadata captured
+    assert trace.meta["algorithm"] == "resacc"
+    assert trace.meta["seed"] == 7
+    assert trace.meta["source"] == 0
+    # result carries the very same trace
+    assert result.trace is trace
+
+
+def test_phase_seconds_and_summary(traced_query):
+    trace, _ = traced_query
+    seconds = trace.phase_seconds
+    assert set(seconds) == set(PHASES)
+    assert sum(seconds.values()) == pytest.approx(trace.total_seconds)
+    summary = trace.summary()
+    assert summary["phase_seconds"] == seconds
+    assert summary["counters"] == trace.counter_totals
+    assert "pushes" in trace.render()
+
+
+def test_unbalanced_phase_calls_raise():
+    trace = QueryTrace()
+    trace.begin_phase("a")
+    with pytest.raises(TraceError):
+        trace.begin_phase("b")
+    trace.end_phase()
+    with pytest.raises(TraceError):
+        trace.end_phase()
+    with pytest.raises(TraceError):
+        trace.phase("missing")
+
+
+def test_counters_outside_phases_land_on_trace():
+    trace = QueryTrace()
+    trace.add_counters(pushes=3)
+    trace.add_counters(pushes=2, walks=1)
+    assert trace.counters == {"pushes": 5, "walks": 1}
+    assert trace.counter_totals == {"pushes": 5, "walks": 1}
+
+
+# ----------------------------------------------------------------------
+# (b) the disabled path is byte-identical and preserves the invariant
+# ----------------------------------------------------------------------
+
+def test_disabled_trace_estimates_byte_identical(web_graph):
+    plain = resacc(web_graph, 3, seed=11)
+    traced = resacc(web_graph, 3, seed=11, trace=QueryTrace())
+    assert np.array_equal(plain.estimates, traced.estimates)
+    assert plain.trace is None
+    assert traced.trace is not None
+
+
+def test_null_trace_is_falsy_noop():
+    assert not NULL_TRACE
+    assert NULL_TRACE.enabled is False
+    NULL_TRACE.note(x=1)
+    NULL_TRACE.begin_phase("p")
+    NULL_TRACE.add_counters(pushes=1)
+    NULL_TRACE.end_phase()
+
+
+def test_push_invariant_holds_with_tracing(ba_graph):
+    trace = QueryTrace()
+    reserve, residue = init_state(ba_graph, 0)
+    trace.begin_phase("hhopfwd", residue)
+    h_hop_forward(ba_graph, 0, 0.2, 1e-14, 2, reserve, residue,
+                  trace=trace)
+    record = trace.end_phase(residue)
+    assert float(reserve.sum() + residue.sum()) == pytest.approx(1.0)
+    assert record.residue_before == pytest.approx(1.0)
+    assert record.residue_after == pytest.approx(float(residue.sum()))
+
+
+# ----------------------------------------------------------------------
+# (c) traces round-trip through repro.obs.export
+# ----------------------------------------------------------------------
+
+def test_trace_dict_roundtrip(traced_query):
+    trace, _ = traced_query
+    data = trace_to_dict(trace)
+    rebuilt = trace_from_dict(data)
+    assert trace_to_dict(rebuilt) == data
+    assert rebuilt.phase_seconds == trace.phase_seconds
+    assert rebuilt.counter_totals == trace.counter_totals
+
+
+def test_trace_file_roundtrip(tmp_path, traced_query):
+    trace, _ = traced_query
+    path = save_traces([trace, trace], tmp_path / "traces.json",
+                       meta={"experiment": "unit"})
+    loaded = load_traces(path)
+    assert len(loaded) == 2
+    assert trace_to_dict(loaded[0]) == trace_to_dict(trace)
+
+
+def test_load_rejects_foreign_documents(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text('{"kind": "something-else"}', encoding="utf-8")
+    with pytest.raises(TraceError):
+        load_traces(path)
+
+
+def test_aggregate_traces_percentiles(web_graph):
+    traces = [QueryTrace() for _ in range(4)]
+    for i, trace in enumerate(traces):
+        resacc(web_graph, i, seed=i, trace=trace)
+    summary = aggregate_traces(traces)
+    assert summary["queries"] == 4
+    for phase in PHASES:
+        entry = summary["phases"][phase]
+        assert entry["count"] == 4
+        assert entry["p50_seconds"] <= entry["p95_seconds"]
+        assert entry["mean_seconds"] > 0.0
+    shares = [summary["phases"][p]["share_pct"] for p in PHASES]
+    assert sum(shares) == pytest.approx(100.0)
+    assert summary["counters"]["pushes"] > 0
+    with pytest.raises(TraceError):
+        aggregate_traces([])
+
+
+# ----------------------------------------------------------------------
+# surfaces: service, harness
+# ----------------------------------------------------------------------
+
+def test_service_attaches_trace_summaries(ba_graph):
+    engine = QueryEngine(ba_graph, cache_size=4, trace=True)
+    result = engine.query(0)
+    assert result.trace is not None
+    assert engine.last_trace is not None
+    assert set(engine.last_trace["phase_seconds"]) == set(PHASES)
+    # cache hit returns the same traced result without re-running
+    again = engine.query(0)
+    assert again is result
+
+
+def test_service_untraced_by_default(ba_graph):
+    engine = QueryEngine(ba_graph, cache_size=4)
+    assert engine.query(0).trace is None
+    assert engine.last_trace is None
+
+
+def test_harness_collects_and_exports_traces(tmp_path, web_graph):
+    solvers = {"resacc": traced_solver(
+        lambda graph, source, trace=None: resacc(graph, source, seed=1,
+                                                 trace=trace)
+    )}
+    runs = run_suite(web_graph, [0, 1], solvers)
+    assert len(runs["resacc"].traces) == 2
+    assert len(suite_traces(runs)) == 2
+    path = export_suite_traces(runs, tmp_path / "suite.json",
+                               experiment="unit")
+    loaded = load_traces(path)
+    assert len(loaded) == 2
+    import json
+    meta = json.loads(path.read_text())["meta"]
+    assert meta["experiment"] == "unit"
+    assert meta["solvers"]["resacc"]["queries"] == 2

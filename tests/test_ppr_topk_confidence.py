@@ -19,7 +19,6 @@ from repro.core import (
     topk_ssrwr,
 )
 from repro.errors import ParameterError
-from repro.graph import generators
 
 ALPHA = 0.2
 

@@ -1,6 +1,5 @@
 """Tests for the backward-push kernel and its invariant."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.inverse import ExactSolver

@@ -1,6 +1,5 @@
 """Tests for strongly connected components and the incremental builder."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphFormatError
