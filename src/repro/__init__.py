@@ -28,12 +28,14 @@ from repro.core import (
 from repro.graph import CSRGraph, from_edges, hop_structure
 from repro.obs import QueryTrace
 from repro.service import QueryEngine
+from repro.serving import ConcurrentQueryEngine
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AccuracyParams",
     "CSRGraph",
+    "ConcurrentQueryEngine",
     "QueryEngine",
     "QueryTrace",
     "ResAccParams",

@@ -4,11 +4,13 @@ from repro.bench.appendix import APPENDIX_EXPERIMENTS
 from repro.bench.experiments import MAIN_EXPERIMENTS
 from repro.bench.extensions import EXTENSION_EXPERIMENTS
 from repro.bench.harness import (
+    SERVING_BENCH_KIND,
     BenchConfig,
     GroundTruthCache,
     SolverRun,
     export_suite_traces,
     run_suite,
+    serving_benchmark,
     suite_traces,
     timed,
     traced_solver,
@@ -27,12 +29,14 @@ __all__ = [
     "EXTENSION_EXPERIMENTS",
     "GroundTruthCache",
     "MAIN_EXPERIMENTS",
+    "SERVING_BENCH_KIND",
     "Series",
     "SolverRun",
     "Table",
     "export_suite_traces",
     "render_all",
     "run_suite",
+    "serving_benchmark",
     "suite_traces",
     "timed",
     "traced_solver",

@@ -52,6 +52,28 @@ def build_parser():
                            help="print the per-phase trace breakdown")
     query_cmd.add_argument("--trace-json", metavar="PATH", default=None,
                            help="write the full QueryTrace as JSON")
+    serve_cmd = sub.add_parser(
+        "serve-batch",
+        help="benchmark concurrent batched serving vs. a sequential loop",
+    )
+    serve_cmd.add_argument("dataset", help="dataset name from the catalog")
+    serve_cmd.add_argument("--sources", type=int, default=8,
+                           help="number of distinct query sources")
+    serve_cmd.add_argument("--repeat", type=int, default=3,
+                           help="requests per source (hot workload)")
+    serve_cmd.add_argument("--workers", type=int, default=4,
+                           help="thread-pool width")
+    serve_cmd.add_argument("--scale", type=float, default=1.0,
+                           help="dataset scale factor")
+    serve_cmd.add_argument("--seed", type=int, default=0)
+    serve_cmd.add_argument("--delta-scale", type=float, default=1.0,
+                           help="relax delta to this multiple of 1/n")
+    serve_cmd.add_argument("--json", metavar="PATH", default=None,
+                           help="write the benchmark document "
+                                "(e.g. BENCH_serving.json)")
+    serve_cmd.add_argument("--min-speedup", type=float, default=None,
+                           help="exit non-zero unless batch speedup vs. "
+                                "the sequential loop reaches this")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment",
                      help="experiment id from 'list', or 'all'")
@@ -96,6 +118,8 @@ def main(argv=None):
         return 0
     if args.command == "query":
         return _run_query(args)
+    if args.command == "serve-batch":
+        return _run_serve_batch(args)
     if args.command == "compare":
         from repro.bench.compare import compare_files
 
@@ -168,6 +192,60 @@ def _run_query(args):
                            meta={"dataset": args.dataset,
                                  "scale": args.scale})
         print(f"\ntrace written to {path}")
+    return 0
+
+
+def _run_serve_batch(args):
+    import json
+
+    from repro.bench.harness import serving_benchmark
+    from repro.core.params import AccuracyParams
+    from repro.datasets import catalog
+    from repro.errors import ParameterError
+
+    try:
+        graph = catalog.load(args.dataset, scale=args.scale)
+        accuracy = AccuracyParams.paper_defaults(
+            graph.n, delta_scale=args.delta_scale
+        )
+        doc = serving_benchmark(
+            graph, num_unique=args.sources, repeat=args.repeat,
+            num_workers=args.workers, accuracy=accuracy, seed=args.seed,
+        )
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    workload = doc["workload"]
+    print(f"{args.dataset} (n={graph.n}, m={graph.m})  "
+          f"{workload['requests']} requests over "
+          f"{workload['unique_sources']} sources, "
+          f"{doc['workers']} workers")
+    print(f"  sequential loop    {doc['sequential_loop_seconds']:8.3f} s")
+    print(f"  sequential cached  {doc['sequential_cached_seconds']:8.3f} s")
+    print(f"  query_batch        {doc['batch_seconds']:8.3f} s  "
+          f"({doc['speedup']:.2f}x vs loop, "
+          f"{doc['speedup_vs_cached']:.2f}x vs cached)")
+    print(f"  unique-source control: "
+          f"{doc['unique_workload']['speedup']:.2f}x "
+          f"(parallelism only, no reuse)")
+    print(f"  byte-identical to sequential: {doc['byte_identical']}")
+    if args.json:
+        from pathlib import Path
+
+        from repro.obs.export import _json_safe
+
+        path = Path(args.json)
+        path.write_text(json.dumps(_json_safe(doc), indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"  written to {path}")
+    if not doc["byte_identical"]:
+        print("batched results diverge from the sequential loop",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and doc["speedup"] < args.min_speedup:
+        print(f"speedup {doc['speedup']:.2f}x below required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -13,6 +13,7 @@ See ``docs/observability.md`` for the trace schema and CLI flags.
 """
 
 from repro.obs.export import (
+    aggregate_by_worker,
     aggregate_traces,
     load_traces,
     save_traces,
@@ -26,6 +27,7 @@ __all__ = [
     "NullTrace",
     "PhaseRecord",
     "QueryTrace",
+    "aggregate_by_worker",
     "aggregate_traces",
     "load_traces",
     "save_traces",

@@ -163,3 +163,22 @@ def aggregate_traces(traces, *, percentiles=(50, 95)):
         "phases": phases,
         "counters": _json_safe(counters),
     }
+
+
+def aggregate_by_worker(traces, *, percentiles=(50, 95), key="thread"):
+    """Per-worker :func:`aggregate_traces`, grouped by a meta tag.
+
+    Every :class:`QueryTrace` is stamped with the name of the thread
+    that created it (``meta["thread"]``); a concurrent engine's batch
+    therefore slices cleanly into one aggregate per pool worker.  Traces
+    missing the tag group under ``"untagged"``.  Returns a dict ordered
+    by worker name.
+    """
+    groups = {}
+    for trace in traces:
+        worker = str(trace.meta.get(key, "untagged"))
+        groups.setdefault(worker, []).append(trace)
+    return {
+        worker: aggregate_traces(groups[worker], percentiles=percentiles)
+        for worker in sorted(groups)
+    }

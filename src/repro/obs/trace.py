@@ -22,6 +22,7 @@ byte-identical to an un-instrumented run (asserted by
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -122,6 +123,10 @@ class QueryTrace:
 
     def __init__(self, **meta):
         self.meta = dict(meta)
+        # Tag the creating thread so multi-worker batches can be sliced
+        # per worker (repro.obs.export.aggregate_by_worker).  setdefault
+        # keeps round-tripped traces attributed to their original worker.
+        self.meta.setdefault("thread", threading.current_thread().name)
         self.phases = []
         self.counters = {}
         self._open = None

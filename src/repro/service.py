@@ -32,13 +32,22 @@ from repro.obs.trace import QueryTrace
 
 @dataclass
 class ServiceStats:
-    """Counters exposed by :class:`QueryEngine`."""
+    """Counters exposed by :class:`QueryEngine` (and the concurrent
+    engine in :mod:`repro.serving`, which adds the last two).
+
+    ``solver_calls`` counts actual solver invocations -- with
+    single-flight deduplication it can be smaller than ``cache_misses``
+    would suggest; ``coalesced`` counts queries that piggybacked on
+    another thread's in-flight computation (neither a hit nor a miss).
+    """
 
     queries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    coalesced: int = 0
     updates: int = 0
     invalidations: int = 0
+    solver_calls: int = 0
     solver_seconds: float = 0.0
     extras: dict = field(default_factory=dict)
 
@@ -76,14 +85,15 @@ class QueryEngine:
         self._graph = self._builder.build()
         self._accuracy = accuracy
         self._seed = seed
-        self._solver = solver or self._default_solver
+        self._custom_solver = solver
         self._cache_size = int(cache_size)
         self._cache = OrderedDict()
         self._trace_enabled = bool(trace)
         self.stats = ServiceStats()
 
-    def _default_solver(self, graph, source):
-        accuracy = self._accuracy or AccuracyParams.paper_defaults(graph.n)
+    def _default_solver(self, graph, source, accuracy=None):
+        accuracy = (accuracy or self._accuracy
+                    or AccuracyParams.paper_defaults(graph.n))
         trace = QueryTrace() if self._trace_enabled else None
         return resacc(graph, source, accuracy=accuracy,
                       seed=self._seed + source, trace=trace)
@@ -98,34 +108,46 @@ class QueryEngine:
             self._graph = self._builder.build()
         return self._graph
 
-    def query(self, source):
-        """SSRWR result for ``source`` (cached)."""
+    def query(self, source, *, accuracy=None):
+        """SSRWR result for ``source`` (cached).
+
+        ``accuracy`` overrides the engine-level accuracy contract for
+        this query.  The cache is keyed on ``(source, accuracy)``: an
+        answer computed at a loose ``eps`` is never served to a later
+        query demanding a strict one.
+        """
         source = int(source)
         if not 0 <= source < self.graph.n:
             raise ParameterError(
                 f"source {source} out of range for n={self.graph.n}"
             )
+        effective = accuracy or self._accuracy
+        key = (source, effective)
         self.stats.queries += 1
-        if source in self._cache:
+        if key in self._cache:
             self.stats.cache_hits += 1
-            self._cache.move_to_end(source)
-            return self._cache[source]
+            self._cache.move_to_end(key)
+            return self._cache[key]
         self.stats.cache_misses += 1
         tic = time.perf_counter()
-        result = self._solver(self.graph, source)
+        if self._custom_solver is not None:
+            result = self._custom_solver(self.graph, source)
+        else:
+            result = self._default_solver(self.graph, source, effective)
         self.stats.solver_seconds += time.perf_counter() - tic
+        self.stats.solver_calls += 1
         trace = getattr(result, "trace", None)
         if trace is not None:
             self.stats.extras["last_trace"] = trace.summary()
         if self._cache_size:
-            self._cache[source] = result
+            self._cache[key] = result
             while len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
         return result
 
-    def top_k(self, source, k):
+    def top_k(self, source, k, *, accuracy=None):
         """``(nodes, values)`` of the top-k estimates for ``source``."""
-        return self.query(source).top_k(k)
+        return self.query(source, accuracy=accuracy).top_k(k)
 
     @property
     def last_trace(self):

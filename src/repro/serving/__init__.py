@@ -1,0 +1,30 @@
+"""Concurrent batched query serving.
+
+The package splits the problem into three small, separately-testable
+pieces:
+
+* :mod:`repro.serving.epoch` -- :class:`EpochGate`, the writer-preferring
+  readers-writer lock + graph-epoch counter that lets mutations quiesce
+  in-flight queries;
+* :mod:`repro.serving.cache` -- :class:`SingleFlightCache`, the
+  thread-safe LRU with per-key flight coalescing and generation-fenced
+  invalidation;
+* :mod:`repro.serving.engine` -- :class:`ConcurrentQueryEngine`, the
+  thread-pooled service that composes the two behind the familiar
+  ``query`` / ``query_batch`` / ``add_edge`` surface.
+
+See ``docs/serving.md`` for the design and the determinism contract
+(batched results are byte-identical to a sequential loop for fixed
+seeds).
+"""
+
+from repro.serving.cache import SingleFlightCache
+from repro.serving.engine import WORKER_NAME_PREFIX, ConcurrentQueryEngine
+from repro.serving.epoch import EpochGate
+
+__all__ = [
+    "ConcurrentQueryEngine",
+    "EpochGate",
+    "SingleFlightCache",
+    "WORKER_NAME_PREFIX",
+]

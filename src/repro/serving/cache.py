@@ -1,0 +1,133 @@
+"""Thread-safe LRU result cache with single-flight deduplication.
+
+Two concurrent misses on the same key are the common case for a hot
+source the instant its cached answer is invalidated: without
+coordination every worker would recompute the same SSRWR vector.
+:class:`SingleFlightCache` collapses them -- the first thread to miss
+becomes the *owner* and computes; every other thread *coalesces*, parking
+on the owner's flight until the value is published.  The compute runs
+outside the cache lock, so unrelated keys never serialize behind it.
+
+Entries are tagged with the cache *generation* at the time their flight
+started.  :meth:`invalidate` bumps the generation and drops every stored
+entry; a flight that started before the invalidation still hands its
+value to its waiters (they asked under the old graph) but refuses to
+store it, so a post-invalidation query can never hit a stale entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.errors import ParameterError
+
+
+class _Flight:
+    """One in-progress computation that waiters can park on."""
+
+    __slots__ = ("event", "value", "error", "generation")
+
+    def __init__(self, generation):
+        self.event = threading.Event()
+        self.value = None
+        self.error = None
+        self.generation = generation
+
+
+class SingleFlightCache:
+    """LRU mapping with per-key single-flight computation.
+
+    All bookkeeping happens under one internal lock; user-supplied
+    ``compute`` callables run outside it.
+    """
+
+    def __init__(self, max_size=256):
+        if max_size < 0:
+            raise ParameterError(f"max_size must be >= 0, got {max_size}")
+        self._max_size = int(max_size)
+        self._lock = threading.Lock()
+        self._data = OrderedDict()
+        self._flights = {}
+        self._generation = 0
+
+    @property
+    def max_size(self):
+        return self._max_size
+
+    @property
+    def generation(self):
+        with self._lock:
+            return self._generation
+
+    def __len__(self):
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._data
+
+    def keys(self):
+        """Snapshot of the cached keys, LRU-first."""
+        with self._lock:
+            return list(self._data)
+
+    def get_or_compute(self, key, compute):
+        """``(value, outcome)`` where outcome is one of:
+
+        * ``"hit"`` -- served from the cache;
+        * ``"miss"`` -- this thread owned the flight and ran ``compute``;
+        * ``"coalesced"`` -- another thread's in-flight compute was
+          awaited and its value shared.
+
+        If the owning compute raises, its waiters re-raise the same
+        exception; nothing is cached.
+        """
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                return self._data[key], "hit"
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight(self._generation)
+                self._flights[key] = flight
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, "coalesced"
+        try:
+            flight.value = compute()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+                publishable = (flight.error is None
+                               and self._max_size > 0
+                               and flight.generation == self._generation)
+                if publishable:
+                    self._data[key] = flight.value
+                    while len(self._data) > self._max_size:
+                        self._data.popitem(last=False)
+            flight.event.set()
+        return flight.value, "miss"
+
+    def invalidate(self):
+        """Drop every entry and fence out in-flight stores.
+
+        Returns the number of entries removed.  Flights that started
+        before the call complete normally for their waiters but are not
+        stored, so no query issued after ``invalidate`` returns can hit
+        a value computed before it.
+        """
+        with self._lock:
+            self._generation += 1
+            cleared = len(self._data)
+            self._data.clear()
+            return cleared

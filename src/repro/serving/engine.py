@@ -1,0 +1,272 @@
+"""Concurrent batched SSRWR query serving.
+
+:class:`ConcurrentQueryEngine` is the multi-threaded counterpart of
+:class:`repro.service.QueryEngine`: the same cache + invalidate-on-write
+policy, executed behind a ``ThreadPoolExecutor`` so a batch of sources
+fans out across workers.  Three mechanisms make that safe:
+
+* a :class:`repro.serving.cache.SingleFlightCache` -- concurrent misses
+  on one ``(source, accuracy)`` key compute once, everyone else shares
+  the owner's result;
+* an :class:`repro.serving.epoch.EpochGate` -- mutations quiesce
+  in-flight queries, bump the graph epoch and invalidate the cache
+  atomically, so a query never observes a half-applied update and a
+  post-mutation query never hits a pre-mutation cache entry;
+* per-source seeding -- the default solver derives its RNG seed from the
+  source id alone (``seed + source``, exactly as the sequential engine
+  does), so the estimate vector for a source is a pure function of
+  ``(graph, source, accuracy, seed)`` and batched execution is
+  byte-identical to a sequential loop regardless of thread scheduling.
+
+The determinism contract is load-bearing: ``tests/test_serving_equivalence.py``
+asserts ``query_batch`` output equals looped ``QueryEngine.query`` output
+byte for byte, which is what lets the stress tests reason about
+correctness under races.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.params import AccuracyParams
+from repro.core.resacc import resacc
+from repro.errors import ParameterError
+from repro.graph.builder import GraphBuilder
+from repro.obs.trace import QueryTrace
+from repro.service import ServiceStats
+
+#: Thread-name prefix for pool workers; traces are tagged with these
+#: names, which is how per-worker aggregation groups them.
+WORKER_NAME_PREFIX = "ssrwr-worker"
+
+
+class ConcurrentQueryEngine:
+    """Thread-pooled, cache-deduplicated, update-aware SSRWR service.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph (copied into an internal builder; later mutations
+        do not affect the caller's object).
+    solver:
+        ``(graph, source, accuracy, seed) -> SSRWRResult``; defaults to
+        ResAcc.  The engine passes ``seed = base_seed + source`` so the
+        answer for a source is deterministic no matter which worker
+        computes it.
+    accuracy:
+        Default :class:`repro.core.AccuracyParams`; ``None`` means the
+        paper defaults for the current graph size.  Individual queries
+        may override it, and the cache is keyed on the effective value.
+    cache_size:
+        Maximum number of cached results (LRU eviction; 0 disables
+        caching but single-flight dedup of concurrent identical queries
+        still applies).
+    max_workers:
+        Thread-pool width used by :meth:`query_batch`.
+    trace:
+        When true every solver run gets a fresh
+        :class:`repro.obs.QueryTrace` tagged with the worker thread and
+        graph epoch; see :attr:`traces` / :meth:`trace_summary` /
+        :meth:`worker_trace_summary`.
+    """
+
+    def __init__(self, graph, *, solver=None, accuracy=None,
+                 cache_size=256, seed=0, max_workers=4, trace=False):
+        from repro.serving.cache import SingleFlightCache
+        from repro.serving.epoch import EpochGate
+
+        if max_workers < 1:
+            raise ParameterError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self._builder = GraphBuilder(graph=graph)
+        self._graph = self._builder.build()
+        self._accuracy = accuracy
+        self._seed = int(seed)
+        self._solver = solver
+        self._cache = SingleFlightCache(max_size=cache_size)
+        self._gate = EpochGate()
+        self._max_workers = int(max_workers)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._max_workers,
+            thread_name_prefix=WORKER_NAME_PREFIX,
+        )
+        self._trace_enabled = bool(trace)
+        self._traces = []
+        self._stats_lock = threading.Lock()
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self):
+        """Shut the worker pool down (waits for in-flight queries)."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The current immutable graph snapshot."""
+        with self._gate.read():
+            return self._graph
+
+    @property
+    def epoch(self):
+        """The current graph epoch (bumped by every effective mutation)."""
+        return self._gate.epoch
+
+    def query(self, source, *, accuracy=None):
+        """SSRWR result for ``source`` (cached, single-flighted).
+
+        Safe to call from any thread; :meth:`query_batch` is this method
+        fanned across the worker pool.
+        """
+        source = int(source)
+        with self._gate.read() as epoch:
+            graph = self._graph
+            if not 0 <= source < graph.n:
+                raise ParameterError(
+                    f"source {source} out of range for n={graph.n}"
+                )
+            effective = accuracy or self._accuracy
+            key = (source, effective)
+            result, outcome = self._cache.get_or_compute(
+                key,
+                lambda: self._compute(graph, source, effective, epoch),
+            )
+        with self._stats_lock:
+            self.stats.queries += 1
+            if outcome == "hit":
+                self.stats.cache_hits += 1
+            elif outcome == "coalesced":
+                self.stats.coalesced += 1
+            else:
+                self.stats.cache_misses += 1
+        return result
+
+    def query_batch(self, sources, *, accuracy=None):
+        """Answer many sources concurrently; results in input order.
+
+        Duplicate sources are answered once (single-flight + cache) and
+        every duplicate position receives the shared result object.
+        Must not be called from inside one of the engine's own workers.
+        """
+        futures = [
+            self._executor.submit(self.query, source, accuracy=accuracy)
+            for source in sources
+        ]
+        return [future.result() for future in futures]
+
+    def top_k(self, source, k, *, accuracy=None):
+        """``(nodes, values)`` of the top-k estimates for ``source``."""
+        return self.query(source, accuracy=accuracy).top_k(k)
+
+    def _compute(self, graph, source, accuracy, epoch):
+        trace = None
+        if self._trace_enabled:
+            trace = QueryTrace(epoch=epoch)
+        tic = time.perf_counter()
+        if self._solver is not None:
+            result = self._solver(graph, source, accuracy,
+                                  self._seed + source)
+        else:
+            result = resacc(
+                graph, source,
+                accuracy=accuracy or AccuracyParams.paper_defaults(graph.n),
+                seed=self._seed + source, trace=trace,
+            )
+        elapsed = time.perf_counter() - tic
+        with self._stats_lock:
+            self.stats.solver_seconds += elapsed
+            self.stats.solver_calls += 1
+            if trace is not None:
+                self._traces.append(trace)
+                self.stats.extras["last_trace"] = trace.summary()
+        return result
+
+    # ------------------------------------------------------------------
+    # Updates (quiesce queries, bump the epoch, invalidate atomically)
+    # ------------------------------------------------------------------
+    def add_edge(self, u, v, *, undirected=False):
+        """Insert an edge; returns whether the graph changed."""
+        if undirected:
+            return self._mutate(
+                lambda b: b.add_undirected_edge(u, v, grow=True)
+            )
+        return self._mutate(lambda b: b.add_edge(u, v, grow=True))
+
+    def remove_edge(self, u, v):
+        """Remove a directed edge; returns whether it existed."""
+        return self._mutate(lambda b: b.remove_edge(u, v))
+
+    def remove_node(self, v):
+        """Detach a node (its id remains valid); returns edges removed."""
+        return self._mutate(lambda b: b.remove_node_edges(v))
+
+    def flush_cache(self):
+        """Drop every cached result (quiesces in-flight queries first).
+
+        Returns the number of entries removed.  Useful for benchmarks
+        and for callers that know the workload shifted; normal
+        invalidation happens automatically on mutation.
+        """
+        with self._gate.write():
+            cleared = self._cache.invalidate()
+        with self._stats_lock:
+            self.stats.invalidations += cleared
+        return cleared
+
+    def _mutate(self, mutation):
+        with self._gate.write() as gate:
+            changed = mutation(self._builder)
+            if changed:
+                gate.advance()
+                self._graph = self._builder.build()
+                cleared = self._cache.invalidate()
+                with self._stats_lock:
+                    self.stats.updates += 1
+                    self.stats.invalidations += cleared
+        return changed
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def traces(self):
+        """Snapshot of every collected :class:`QueryTrace`, in solve order."""
+        with self._stats_lock:
+            return list(self._traces)
+
+    def trace_summary(self, *, percentiles=(50, 95)):
+        """p50/p95 phase aggregate across all workers (or ``None``)."""
+        from repro.obs.export import aggregate_traces
+
+        traces = self.traces
+        if not traces:
+            return None
+        return aggregate_traces(traces, percentiles=percentiles)
+
+    def worker_trace_summary(self, *, percentiles=(50, 95)):
+        """Per-worker p50/p95 phase aggregates keyed by thread name."""
+        from repro.obs.export import aggregate_by_worker
+
+        return aggregate_by_worker(self.traces, percentiles=percentiles)
+
+    def __repr__(self):
+        with self._gate.read():
+            n, m = self._graph.n, self._graph.m
+        return (f"ConcurrentQueryEngine(n={n}, m={m}, "
+                f"workers={self._max_workers}, epoch={self.epoch}, "
+                f"cached={len(self._cache)}, "
+                f"hit_rate={self.stats.hit_rate:.2f})")

@@ -1,0 +1,97 @@
+"""Read-write quiescence protocol with graph epochs.
+
+:class:`EpochGate` is the concurrency backbone of the serving layer: a
+writer-preferring readers-writer lock fused with a monotonically
+increasing *epoch* counter that names the current graph version.
+
+* Queries enter as readers -- any number run concurrently.
+* Mutations enter as writers -- a writer waits for every in-flight
+  reader to drain (quiescence), holds the gate exclusively, and calls
+  :meth:`advance` once the graph actually changed, so the epoch number
+  identifies exactly one immutable graph snapshot.
+* New readers block while a writer is waiting or active
+  (writer preference), so a stream of queries cannot starve updates.
+
+The epoch is what makes cache invalidation auditable: every cached
+answer belongs to the epoch it was computed under, and the single-flight
+cache refuses to publish results from a superseded epoch (see
+:mod:`repro.serving.cache`).  Because writers quiesce readers, no solver
+run ever straddles a mutation -- queries observe either the old graph or
+the new one, never a half-applied update.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.errors import ParameterError
+
+
+class EpochGate:
+    """Writer-preferring readers-writer lock with an epoch counter."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        self._epoch = 0
+
+    @property
+    def epoch(self):
+        """The current graph epoch (bumped by :meth:`advance`)."""
+        with self._cond:
+            return self._epoch
+
+    @property
+    def active_readers(self):
+        """Number of readers currently inside the gate."""
+        with self._cond:
+            return self._readers
+
+    @contextmanager
+    def read(self):
+        """Shared (query) access; yields the epoch observed on entry."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+            epoch = self._epoch
+        try:
+            yield epoch
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        """Exclusive (mutation) access; waits for readers to quiesce.
+
+        Yields the gate itself so the holder can call :meth:`advance`
+        when (and only when) the protected state actually changed.
+        """
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield self
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+    def advance(self):
+        """Bump the epoch; legal only while holding :meth:`write`."""
+        with self._cond:
+            if not self._writer:
+                raise ParameterError(
+                    "EpochGate.advance() requires the write gate"
+                )
+            self._epoch += 1
+            return self._epoch

@@ -230,3 +230,50 @@ def test_boxplot_summary_ordering(values):
     assert summary.minimum <= summary.q1 <= summary.median \
         <= summary.q3 <= summary.maximum
     assert summary.iqr >= 0
+
+
+# ----------------------------------------------------------------------
+# h-HopFWD updating-phase invariant (Appendix-Q scaler)
+# ----------------------------------------------------------------------
+
+def test_hhop_updating_phase_conserves_unit_mass():
+    """After h-HopFWD's updating phase, ``sum(reserve) + sum(residue)``
+    must equal 1 to within 1e-12.
+
+    This pins the Appendix-Q geometric scaler
+    ``S = (1 - r1^T) / (1 - r1)`` (DESIGN.md): the form the paper prints
+    in Algorithm 3, ``(1 - r1^(T-1)) / (1 - r1)``, breaks exact mass
+    conservation, so any regression toward it fails here.  Driven by
+    plain ``random`` (no hypothesis) so the trial set is a fixed,
+    reproducible sweep over graph shapes, hop depths and thresholds.
+    """
+    import random as plain_random
+
+    from repro.core.hhop import h_hop_forward
+    from repro.push import init_state
+
+    rng = plain_random.Random(20260807)
+    for trial in range(40):
+        n = rng.randint(2, 60)
+        num_edges = rng.randint(0, 4 * n)
+        edges = [(rng.randrange(n), rng.randrange(n))
+                 for _ in range(num_edges)]
+        dangling = rng.choice(["absorb", "restart"])
+        graph = from_edges(n, edges, dangling=dangling)
+        source = rng.randrange(n)
+        h = rng.randint(0, 3)
+        r_max_hop = rng.choice([1e-14, 1e-10, 1e-6])
+        method = rng.choice(["frontier", "queue"])
+        reserve, residue = init_state(graph, source)
+        outcome = h_hop_forward(graph, source, ALPHA, r_max_hop, h,
+                                reserve, residue, method=method)
+        total = float(reserve.sum() + residue.sum())
+        assert abs(total - 1.0) <= 1e-12, (
+            f"trial {trial}: mass {total} (n={n}, m={graph.m}, h={h}, "
+            f"r_max_hop={r_max_hop}, source={source}, "
+            f"dangling={dangling}, scaler={outcome.scaler}, "
+            f"T={outcome.num_rounds})"
+        )
+        assert outcome.num_rounds >= 1
+        # The geometric sum of T terms of r1 < 1 is always >= 1.
+        assert outcome.scaler >= 1.0

@@ -56,6 +56,29 @@ class TestQueries:
         with pytest.raises(ParameterError):
             engine.query(10_000)
 
+    def test_cache_keyed_on_accuracy(self, ba_graph):
+        """Regression: a result computed at a loose eps must never be
+        served to a later query demanding a strict one."""
+        engine = QueryEngine(ba_graph, cache_size=8, seed=1)
+        loose = AccuracyParams(eps=1.0, delta=10.0 / ba_graph.n,
+                               p_f=1.0 / ba_graph.n)
+        tight = AccuracyParams(eps=0.2, delta=1.0 / ba_graph.n,
+                               p_f=1.0 / ba_graph.n)
+        loose_result = engine.query(0, accuracy=loose)
+        tight_result = engine.query(0, accuracy=tight)
+        assert tight_result is not loose_result
+        assert engine.stats.cache_misses == 2
+        # The strict query really ran at the strict setting.
+        assert tight_result.walks_used > loose_result.walks_used
+        # Each accuracy keeps its own cached entry.
+        assert engine.query(0, accuracy=loose) is loose_result
+        assert engine.query(0, accuracy=tight) is tight_result
+        assert engine.stats.cache_hits == 2
+        # The engine-default accuracy is a third, distinct key.
+        default_result = engine.query(0)
+        assert default_result is not loose_result
+        assert default_result is not tight_result
+
     def test_cache_size_validation(self, ba_graph):
         with pytest.raises(ParameterError):
             QueryEngine(ba_graph, cache_size=-1)

@@ -1,0 +1,380 @@
+"""Concurrency stress harness for the serving layer.
+
+These tests hammer :class:`repro.serving.ConcurrentQueryEngine` (and its
+building blocks) with racing readers and writers and assert the
+contracts that make it a *service*:
+
+* no deadlock -- every join has a hard timeout;
+* single-flight -- concurrent misses on one key compute exactly once;
+* no stale reads -- a query issued after a mutation returns never sees
+  pre-mutation data (epoch fencing);
+* consistent counters -- ``ServiceStats`` adds up under races.
+
+The solvers used here are deliberately cheap stand-ins: the lock
+protocol, not the numerics, is under test (byte-level numerics are
+covered by ``tests/test_serving_equivalence.py``).  Everything is
+deterministic in outcome -- no sleep-and-hope assertions -- so the suite
+is safe to loop in CI.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import generators
+from repro.serving import ConcurrentQueryEngine, EpochGate, SingleFlightCache
+
+JOIN_TIMEOUT = 30.0  # generous; a healthy run takes milliseconds
+
+#: Iteration count for the stress loops (the CI concurrency job runs the
+#: whole file; each iteration is a full spawn/hammer/join cycle).
+STRESS_ITERATIONS = 50
+
+
+class CountingSolver:
+    """Solver stand-in that records every invocation.
+
+    The returned payload embeds the graph's edge count, which is what
+    lets staleness assertions detect a pre-mutation answer served
+    post-mutation.
+    """
+
+    def __init__(self, delay=0.0):
+        self.delay = delay
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def __call__(self, graph, source, accuracy, seed):
+        with self._lock:
+            self.calls.append((int(source), accuracy, int(seed)))
+        if self.delay:
+            time.sleep(self.delay)
+        return SimpleNamespace(
+            source=int(source), m=graph.m, n=graph.n, seed=int(seed),
+            estimates=np.array([float(graph.m), float(source)]),
+        )
+
+    @property
+    def num_calls(self):
+        with self._lock:
+            return len(self.calls)
+
+
+def run_threads(targets, *, timeout=JOIN_TIMEOUT):
+    """Start one thread per target, join all, fail loudly on deadlock."""
+    errors = []
+
+    def wrap(fn):
+        def runner():
+            try:
+                fn()
+            except BaseException as exc:  # surfaced in the main thread
+                errors.append(exc)
+        return runner
+
+    threads = [threading.Thread(target=wrap(t), daemon=True)
+               for t in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+    stuck = [t for t in threads if t.is_alive()]
+    assert not stuck, f"deadlock: {len(stuck)} threads failed to finish"
+    if errors:
+        raise errors[0]
+    return threads
+
+
+@pytest.fixture
+def small_graph():
+    return generators.preferential_attachment(60, 2, seed=3)
+
+
+# ----------------------------------------------------------------------
+# Single-flight deduplication
+# ----------------------------------------------------------------------
+
+def test_single_flight_concurrent_identical_queries(small_graph):
+    """Many threads miss on the same source at once -> one compute."""
+    solver = CountingSolver(delay=0.02)
+    hammers = 8
+    barrier = threading.Barrier(hammers)
+    results = [None] * hammers
+    with ConcurrentQueryEngine(small_graph, solver=solver,
+                               max_workers=4) as engine:
+        def hammer(i):
+            def run():
+                barrier.wait(timeout=JOIN_TIMEOUT)
+                results[i] = engine.query(7)
+            return run
+
+        run_threads([hammer(i) for i in range(hammers)])
+        assert solver.num_calls == 1
+        assert all(r is results[0] for r in results)
+        stats = engine.stats
+        assert stats.queries == hammers
+        assert stats.cache_misses == 1
+        assert stats.solver_calls == 1
+        # Everyone else either coalesced on the flight or hit the cache.
+        assert stats.coalesced + stats.cache_hits == hammers - 1
+
+
+def test_batch_with_duplicates_computes_unique_sources_once(small_graph):
+    solver = CountingSolver(delay=0.005)
+    sources = [1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4]
+    with ConcurrentQueryEngine(small_graph, solver=solver,
+                               max_workers=4) as engine:
+        results = engine.query_batch(sources)
+    assert solver.num_calls == len(set(sources))
+    assert engine.stats.solver_calls == len(set(sources))
+    assert [r.source for r in results] == sources
+
+
+def test_solver_errors_propagate_and_are_not_cached(small_graph):
+    attempts = []
+    lock = threading.Lock()
+
+    def flaky(graph, source, accuracy, seed):
+        with lock:
+            attempts.append(source)
+            if len(attempts) == 1:
+                raise RuntimeError("transient backend failure")
+        return SimpleNamespace(source=source, m=graph.m,
+                               estimates=np.zeros(2))
+
+    with ConcurrentQueryEngine(small_graph, solver=flaky,
+                               max_workers=2) as engine:
+        with pytest.raises(RuntimeError, match="transient"):
+            engine.query(5)
+        # The failure was not cached; the retry computes fresh.
+        result = engine.query(5)
+        assert result.source == 5
+        assert len(attempts) == 2
+
+
+# ----------------------------------------------------------------------
+# Mutations: quiescence, epochs, stale-read protection
+# ----------------------------------------------------------------------
+
+def test_no_stale_answer_after_mutation_returns(small_graph):
+    """A query issued after add_edge returns must see the new graph.
+
+    Runs STRESS_ITERATIONS rounds of mutate-then-query while background
+    threads keep overlapping queries in flight the whole time, so every
+    round races the invalidation against live flights.
+    """
+    solver = CountingSolver()
+    stop = threading.Event()
+    with ConcurrentQueryEngine(small_graph, solver=solver,
+                               max_workers=4) as engine:
+        def background():
+            i = 0
+            while not stop.is_set():
+                engine.query(i % small_graph.n)
+                i += 1
+
+        noise = [threading.Thread(target=background, daemon=True)
+                 for _ in range(3)]
+        for thread in noise:
+            thread.start()
+        try:
+            u = small_graph.n - 1
+            for i in range(STRESS_ITERATIONS):
+                v = i % (small_graph.n - 1)
+                changed = (engine.add_edge(u, v) if i % 2 == 0
+                           else engine.remove_edge(u, v))
+                expected_m = engine.graph.m
+                answer = engine.query(v)
+                assert answer.m == expected_m, (
+                    f"iteration {i}: stale answer (m={answer.m}, "
+                    f"graph has m={expected_m}, changed={changed})"
+                )
+        finally:
+            stop.set()
+            for thread in noise:
+                thread.join(JOIN_TIMEOUT)
+            assert not any(t.is_alive() for t in noise)
+
+
+def test_stress_queries_interleaved_with_mutations(small_graph):
+    """N readers over overlapping sources + a mutating writer: no
+    deadlock, and ServiceStats stays arithmetically consistent."""
+    solver = CountingSolver()
+    n = small_graph.n
+    with ConcurrentQueryEngine(small_graph, solver=solver, cache_size=16,
+                               max_workers=4) as engine:
+        def reader(offset):
+            def run():
+                for i in range(STRESS_ITERATIONS):
+                    engine.query((offset + i) % n)
+            return run
+
+        def writer():
+            for i in range(STRESS_ITERATIONS):
+                if i % 2 == 0:
+                    engine.add_edge(0, (i % (n - 2)) + 1)
+                else:
+                    engine.remove_edge(0, (i % (n - 2)) + 1)
+
+        run_threads([reader(0), reader(3), reader(5), reader(7), writer])
+        stats = engine.stats
+        assert stats.queries == 4 * STRESS_ITERATIONS
+        assert (stats.cache_hits + stats.cache_misses + stats.coalesced
+                == stats.queries)
+        assert stats.solver_calls == stats.cache_misses
+        assert stats.solver_calls == solver.num_calls
+        assert stats.updates > 0
+        # Mutations quiesced cleanly: epoch counted every effective one.
+        assert engine.epoch == stats.updates
+
+
+def test_mutation_epoch_and_cache_invalidation(small_graph):
+    solver = CountingSolver()
+    with ConcurrentQueryEngine(small_graph, solver=solver,
+                               max_workers=2) as engine:
+        engine.query(1)
+        engine.query(2)
+        before = engine.epoch
+        # Growing edge to a brand-new node: guaranteed to change the graph.
+        assert engine.add_edge(0, small_graph.n)
+        assert engine.epoch == before + 1
+        assert engine.stats.invalidations == 2
+        # No-op mutation: no epoch bump, cache kept.
+        engine.query(1)
+        cached = engine.query(1)
+        assert not engine.add_edge(0, small_graph.n)
+        assert engine.epoch == before + 1
+        assert engine.query(1) is cached
+
+
+# ----------------------------------------------------------------------
+# Building blocks under direct stress
+# ----------------------------------------------------------------------
+
+def test_epoch_gate_writer_waits_for_readers():
+    gate = EpochGate()
+    reader_in = threading.Event()
+    release_reader = threading.Event()
+    writer_done = threading.Event()
+
+    def reader():
+        with gate.read():
+            reader_in.set()
+            assert release_reader.wait(JOIN_TIMEOUT)
+
+    def writer():
+        with gate.write() as g:
+            g.advance()
+        writer_done.set()
+
+    r = threading.Thread(target=reader, daemon=True)
+    r.start()
+    assert reader_in.wait(JOIN_TIMEOUT)
+    w = threading.Thread(target=writer, daemon=True)
+    w.start()
+    # Writer must quiesce behind the active reader.
+    assert not writer_done.wait(0.05)
+    assert gate.epoch == 0
+    release_reader.set()
+    assert writer_done.wait(JOIN_TIMEOUT)
+    assert gate.epoch == 1
+    r.join(JOIN_TIMEOUT)
+    w.join(JOIN_TIMEOUT)
+
+
+def test_epoch_gate_advance_requires_write():
+    gate = EpochGate()
+    with pytest.raises(ParameterError):
+        gate.advance()
+
+
+def test_single_flight_cache_stress_consistency():
+    """Hammer one SingleFlightCache from many threads across repeated
+    invalidations; every get_or_compute must return the value computed
+    for the key, and post-invalidate gets must recompute."""
+    cache = SingleFlightCache(max_size=8)
+    outcomes = []
+    lock = threading.Lock()
+
+    for iteration in range(STRESS_ITERATIONS):
+        generation = cache.generation
+
+        def worker(key):
+            def run():
+                value, outcome = cache.get_or_compute(
+                    key, lambda: (key, generation)
+                )
+                with lock:
+                    outcomes.append((key, value, outcome))
+                assert value[0] == key
+            return run
+
+        run_threads([worker(k) for k in (0, 1, 0, 1, 2, 2)])
+        cache.invalidate()
+        assert len(cache) == 0
+
+    assert len(outcomes) == STRESS_ITERATIONS * 6
+    for key, value, outcome in outcomes:
+        assert value[0] == key
+        assert outcome in ("hit", "miss", "coalesced")
+
+
+def test_single_flight_cache_does_not_publish_across_invalidation():
+    """A flight that started before invalidate() must not seed the new
+    generation's cache (the 'no stale post-epoch hit' guarantee)."""
+    cache = SingleFlightCache(max_size=8)
+    computing = threading.Event()
+    release = threading.Event()
+
+    def slow_compute():
+        computing.set()
+        assert release.wait(JOIN_TIMEOUT)
+        return "old-generation-value"
+
+    got = {}
+
+    def owner():
+        got["value"], got["outcome"] = cache.get_or_compute(
+            "k", slow_compute
+        )
+
+    t = threading.Thread(target=owner, daemon=True)
+    t.start()
+    assert computing.wait(JOIN_TIMEOUT)
+    cache.invalidate()          # fences the in-flight store out
+    release.set()
+    t.join(JOIN_TIMEOUT)
+    assert got["value"] == "old-generation-value"  # waiter still served
+    assert "k" not in cache                        # ...but never cached
+    value, outcome = cache.get_or_compute("k", lambda: "fresh")
+    assert (value, outcome) == ("fresh", "miss")
+
+
+def test_lru_eviction_is_thread_safe():
+    cache = SingleFlightCache(max_size=4)
+
+    def worker(base):
+        def run():
+            for i in range(STRESS_ITERATIONS):
+                key = (base + i) % 10
+                value, _ = cache.get_or_compute(key, lambda k=key: k * 2)
+                assert value == key * 2
+        return run
+
+    run_threads([worker(b) for b in range(5)])
+    assert len(cache) <= 4
+
+
+def test_engine_rejects_bad_parameters(small_graph):
+    with pytest.raises(ParameterError):
+        ConcurrentQueryEngine(small_graph, max_workers=0)
+    with ConcurrentQueryEngine(small_graph,
+                               solver=CountingSolver()) as engine:
+        with pytest.raises(ParameterError):
+            engine.query(10_000)

@@ -1,0 +1,107 @@
+"""Sequential ≡ parallel equivalence: the serving determinism contract.
+
+``ConcurrentQueryEngine.query_batch`` must produce estimate vectors that
+are *byte-identical* to a sequential loop over ``QueryEngine.query`` for
+fixed seeds -- regardless of worker count, thread scheduling, or
+duplicate requests.  This is what makes the concurrent path trustworthy:
+every accuracy statement proven for the sequential solver transfers
+verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AccuracyParams
+from repro.graph import generators
+from repro.service import QueryEngine
+from repro.serving import ConcurrentQueryEngine
+
+GRAPHS = {
+    "ba": lambda: generators.preferential_attachment(300, 3, seed=7),
+    "power_law": lambda: generators.directed_power_law(250, 5, seed=11),
+    "sbm": lambda: generators.stochastic_block_model(
+        [60, 60, 60], 0.08, 0.01, seed=5
+    ),
+    "grid": lambda: generators.grid(12, 12, torus=True),
+}
+
+ACCURACIES = {
+    "paper": lambda n: AccuracyParams.paper_defaults(n),
+    "loose-delta": lambda n: AccuracyParams(eps=0.5, delta=10.0 / n,
+                                            p_f=1.0 / n),
+    "tight-eps": lambda n: AccuracyParams(eps=0.25, delta=5.0 / n,
+                                          p_f=1.0 / n),
+}
+
+
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("accuracy_name", sorted(ACCURACIES))
+def test_batched_equals_sequential_bytes(graph_name, accuracy_name):
+    graph = GRAPHS[graph_name]()
+    accuracy = ACCURACIES[accuracy_name](graph.n)
+    sources = [0, 3, 17, 42, 3, 0, 99, 17]  # duplicates on purpose
+    sequential = QueryEngine(graph, accuracy=accuracy, cache_size=0,
+                             seed=9)
+    expected = [sequential.query(s) for s in sources]
+    with ConcurrentQueryEngine(graph, accuracy=accuracy, seed=9,
+                               max_workers=4) as engine:
+        batched = engine.query_batch(sources)
+    assert len(batched) == len(sources)
+    for source, want, got in zip(sources, expected, batched):
+        assert got.source == source
+        assert want.estimates.tobytes() == got.estimates.tobytes(), (
+            f"{graph_name}/{accuracy_name}: batched estimates for source "
+            f"{source} diverge from the sequential loop"
+        )
+
+
+def test_batch_results_in_input_order():
+    graph = GRAPHS["ba"]()
+    sources = [250, 1, 123, 7, 1, 250]
+    with ConcurrentQueryEngine(graph, seed=2, max_workers=4) as engine:
+        results = engine.query_batch(sources)
+    assert [r.source for r in results] == sources
+    # Duplicate positions share one computation (and one object).
+    assert results[0] is results[5]
+    assert results[1] is results[4]
+
+
+def test_repeat_runs_are_reproducible():
+    """Same engine seed, fresh engines: byte-identical batches."""
+    graph = GRAPHS["power_law"]()
+    sources = [5, 80, 5, 33]
+    outputs = []
+    for _ in range(2):
+        with ConcurrentQueryEngine(graph, seed=4, max_workers=3) as eng:
+            outputs.append(eng.query_batch(sources))
+    for first, second in zip(*outputs):
+        assert first.estimates.tobytes() == second.estimates.tobytes()
+
+
+def test_worker_count_does_not_change_answers():
+    graph = GRAPHS["sbm"]()
+    accuracy = AccuracyParams.paper_defaults(graph.n)
+    sources = list(range(0, 40, 5))
+    reference = None
+    for workers in (1, 2, 8):
+        with ConcurrentQueryEngine(graph, accuracy=accuracy, seed=6,
+                                   max_workers=workers) as engine:
+            got = [r.estimates for r in engine.query_batch(sources)]
+        if reference is None:
+            reference = got
+        else:
+            for want, have in zip(reference, got):
+                assert np.array_equal(want, have)
+
+
+def test_accuracy_override_matches_sequential():
+    graph = GRAPHS["ba"]()
+    tight = AccuracyParams(eps=0.25, delta=5.0 / graph.n,
+                           p_f=1.0 / graph.n)
+    sequential = QueryEngine(graph, cache_size=0, seed=3)
+    expected = sequential.query(12, accuracy=tight)
+    with ConcurrentQueryEngine(graph, seed=3, max_workers=2) as engine:
+        got = engine.query_batch([12], accuracy=tight)[0]
+    assert expected.estimates.tobytes() == got.estimates.tobytes()

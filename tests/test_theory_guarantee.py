@@ -6,6 +6,8 @@ theoretical allowance -- the library-level counterpart of the paper's
 accuracy proofs.
 """
 
+import math
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,7 @@ from repro.baselines.inverse import ExactSolver
 from repro.core import AccuracyParams, ResAccParams, resacc
 from repro.graph import generators
 from repro.metrics.errors import guarantee_violation_rate
+from repro.serving import ConcurrentQueryEngine
 
 ALPHA = 0.2
 
@@ -53,6 +56,69 @@ def test_contract_holds_with_margin(medium_graph, truth_vectors,
     # Per-node failure allowance is p_f = 1/n; whole-query failures over
     # 12 trials should essentially never happen.
     assert failures <= 1, f"{solver_name}: {failures}/{trials} failed"
+
+
+def test_batched_path_keeps_the_relative_error_bound(medium_graph,
+                                                     truth_vectors):
+    """Definition 1 through the concurrent batched path.
+
+    Repeated seeded runs of ``query_batch`` must satisfy
+    ``|pi_hat - pi| <= eps * pi`` at every node with ``pi > delta``.
+    The theory allows each per-node check to fail with probability
+    ``p_f``; by Bonferroni (union bound over every check performed
+    here), the total number of violated checks the contract tolerates
+    is ``ceil(p_f * total_checks)``.  Empirically the count sits at or
+    near zero -- and because every estimate is a deterministic function
+    of ``(graph, source, accuracy, seed)``, this test cannot flake.
+    """
+    accuracy = AccuracyParams.paper_defaults(medium_graph.n)
+    sources = sorted(truth_vectors)
+    runs = 5
+    total_checks = 0
+    violations = 0
+    for run in range(runs):
+        with ConcurrentQueryEngine(medium_graph, accuracy=accuracy,
+                                   seed=1_000 * run,
+                                   max_workers=4) as engine:
+            results = engine.query_batch(sources)
+        for source, result in zip(sources, results):
+            truth = truth_vectors[source]
+            significant = truth > accuracy.delta
+            total_checks += int(significant.sum())
+            rel = (np.abs(truth[significant]
+                          - result.estimates[significant])
+                   / truth[significant])
+            violations += int((rel > accuracy.eps).sum())
+    assert total_checks > 0
+    bonferroni_budget = math.ceil(accuracy.p_f * total_checks)
+    assert violations <= bonferroni_budget, (
+        f"{violations} of {total_checks} per-node checks violated the "
+        f"eps-relative-error bound (Bonferroni budget "
+        f"{bonferroni_budget})"
+    )
+
+
+def test_batched_and_single_query_paths_agree_on_guarantee(medium_graph,
+                                                           truth_vectors):
+    """The batched path is the single-query path, byte for byte, so the
+    per-query violation rates are identical -- the hardening above is a
+    statement about the *same* estimates the sequential suite proves."""
+    accuracy = AccuracyParams.paper_defaults(medium_graph.n)
+    sources = sorted(truth_vectors)
+    with ConcurrentQueryEngine(medium_graph, accuracy=accuracy, seed=0,
+                               max_workers=4) as engine:
+        batched = engine.query_batch(sources)
+    for source, result in zip(sources, batched):
+        single = resacc(medium_graph, source, accuracy=accuracy,
+                        seed=source)
+        assert np.array_equal(single.estimates, result.estimates)
+        batched_rate = guarantee_violation_rate(
+            truth_vectors[source], result.estimates, accuracy
+        )
+        single_rate = guarantee_violation_rate(
+            truth_vectors[source], single.estimates, accuracy
+        )
+        assert batched_rate == single_rate
 
 
 def test_resacc_beats_fora_on_walk_budget(medium_graph):
