@@ -29,6 +29,7 @@ from repro.graph import CSRGraph, from_edges, hop_structure
 from repro.obs import QueryTrace
 from repro.service import QueryEngine
 from repro.serving import ConcurrentQueryEngine
+from repro.walks.parallel import ParallelWalkExecutor
 
 __version__ = "1.0.0"
 
@@ -36,6 +37,7 @@ __all__ = [
     "AccuracyParams",
     "CSRGraph",
     "ConcurrentQueryEngine",
+    "ParallelWalkExecutor",
     "QueryEngine",
     "QueryTrace",
     "ResAccParams",

@@ -81,8 +81,11 @@ def single_push(graph, node, reserve, residue, alpha, *, source=None):
         _push_dangling(graph, node, r, reserve, residue, alpha, source)
         return
     reserve[node] += alpha * r
-    nbrs = graph.out_neighbors(node)
-    residue[nbrs] += (1.0 - alpha) * r / degree
+    # unique+counts handles parallel edges: a plain fancy-index += would
+    # apply a duplicated target only once, silently losing mass.
+    targets, counts = np.unique(graph.out_neighbors(node),
+                                return_counts=True)
+    residue[targets] += counts * ((1.0 - alpha) * r / degree)
 
 
 def forward_push_loop(graph, reserve, residue, alpha, r_max, *,
@@ -250,8 +253,12 @@ def _priority_loop(graph, reserve, residue, alpha, r_max, can_push, source,
             continue
         reserve[t] += alpha * r
         nbrs = indices[indptr[t]: indptr[t] + degree]
-        residue[nbrs] += (1.0 - alpha) * r / degree
-        hot = nbrs[residue[nbrs] >= thresholds[nbrs]]
+        # unique+counts both scales the share by parallel-edge
+        # multiplicity (fancy-index += drops duplicates) and yields one
+        # heap entry per neighbour instead of one per parallel edge.
+        targets, counts = np.unique(nbrs, return_counts=True)
+        residue[targets] += counts * ((1.0 - alpha) * r / degree)
+        hot = targets[residue[targets] >= thresholds[targets]]
         if can_push is not None:
             hot = hot[can_push[hot]]
         for u in hot.tolist():
@@ -312,8 +319,15 @@ def _queue_loop(graph, reserve, residue, alpha, r_max, can_push, source,
             continue
         reserve[t] += alpha * r
         nbrs = indices[indptr[t]: indptr[t] + degree]
-        residue[nbrs] += (1.0 - alpha) * r / degree
-        hot = nbrs[(residue[nbrs] >= thresholds[nbrs]) & ~in_queue[nbrs]]
+        # unique+counts both scales the share by parallel-edge
+        # multiplicity (fancy-index += drops duplicates) and dedupes the
+        # worklist: with raw nbrs a neighbour behind k parallel edges
+        # was appended k times because in_queue was only set after the
+        # loop.
+        targets, counts = np.unique(nbrs, return_counts=True)
+        residue[targets] += counts * ((1.0 - alpha) * r / degree)
+        hot = targets[(residue[targets] >= thresholds[targets])
+                      & ~in_queue[targets]]
         if can_push is not None:
             hot = hot[can_push[hot]]
         for u in hot.tolist():

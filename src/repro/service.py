@@ -75,12 +75,25 @@ class QueryEngine:
         ``.trace`` and the latest summary is attached to
         ``stats.extras["last_trace"]``.  Cache hits return the original
         traced result unchanged.
+    walk_workers:
+        Process-parallel remedy phase (``> 1`` shards each query's walk
+        batch across that many worker processes; see
+        ``docs/parallel_walks.md``).  The engine keeps one
+        :class:`repro.walks.parallel.ParallelWalkExecutor` alive per
+        graph snapshot -- mutations retire it together with the cache --
+        so pool startup is paid once, not per query.  Ignored when a
+        custom ``solver`` is supplied.  Call :meth:`close` (or use the
+        engine as a context manager) to release the pool.
     """
 
     def __init__(self, graph, *, solver=None, accuracy=None,
-                 cache_size=256, seed=0, trace=False):
+                 cache_size=256, seed=0, trace=False, walk_workers=1):
         if cache_size < 0:
             raise ParameterError(f"cache_size must be >= 0, got {cache_size}")
+        if walk_workers < 1:
+            raise ParameterError(
+                f"walk_workers must be >= 1, got {walk_workers}"
+            )
         self._builder = GraphBuilder(graph=graph)
         self._graph = self._builder.build()
         self._accuracy = accuracy
@@ -89,14 +102,47 @@ class QueryEngine:
         self._cache_size = int(cache_size)
         self._cache = OrderedDict()
         self._trace_enabled = bool(trace)
+        self._walk_workers = int(walk_workers)
+        self._walk_executor = None
         self.stats = ServiceStats()
+
+    def _walk_executor_for(self, graph):
+        """The per-snapshot walk pool (lazily created, ``None`` when
+        ``walk_workers == 1``)."""
+        if self._walk_workers <= 1:
+            return None
+        if self._walk_executor is None:
+            from repro.walks.parallel import ParallelWalkExecutor
+
+            self._walk_executor = ParallelWalkExecutor(
+                graph, self._walk_workers
+            )
+        return self._walk_executor
+
+    def _retire_walk_executor(self):
+        if self._walk_executor is not None:
+            self._walk_executor.close()
+            self._walk_executor = None
+
+    def close(self):
+        """Release the walk-worker pool (no-op when ``walk_workers == 1``)."""
+        self._retire_walk_executor()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
 
     def _default_solver(self, graph, source, accuracy=None):
         accuracy = (accuracy or self._accuracy
                     or AccuracyParams.paper_defaults(graph.n))
         trace = QueryTrace() if self._trace_enabled else None
         return resacc(graph, source, accuracy=accuracy,
-                      seed=self._seed + source, trace=trace)
+                      seed=self._seed + source, trace=trace,
+                      walk_workers=self._walk_workers,
+                      walk_executor=self._walk_executor_for(graph))
 
     # ------------------------------------------------------------------
     # Queries
@@ -200,6 +246,9 @@ class QueryEngine:
             self.stats.invalidations += len(self._cache)
             self._cache.clear()
         self._graph = None  # rebuilt lazily on next query
+        # The walk pool shares the old snapshot's CSR arrays; retire it
+        # so the next query re-shares the rebuilt graph.
+        self._retire_walk_executor()
 
     def __repr__(self):
         return (f"QueryEngine(n={self.graph.n}, m={self.graph.m}, "

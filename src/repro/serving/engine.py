@@ -70,16 +70,31 @@ class ConcurrentQueryEngine:
         :class:`repro.obs.QueryTrace` tagged with the worker thread and
         graph epoch; see :attr:`traces` / :meth:`trace_summary` /
         :meth:`worker_trace_summary`.
+    walk_workers:
+        Process-parallel remedy phase: ``> 1`` shards every query's walk
+        batch across one shared
+        :class:`repro.walks.parallel.ParallelWalkExecutor` (its pool
+        submissions are thread-safe, so all query threads use the same
+        pool).  The pool is bound to the current graph snapshot and
+        retired inside the write gate on mutation.  Per-source
+        determinism is preserved: an answer is a pure function of
+        ``(graph, source, accuracy, seed, walk_workers)``.  Ignored when
+        a custom ``solver`` is supplied.
     """
 
     def __init__(self, graph, *, solver=None, accuracy=None,
-                 cache_size=256, seed=0, max_workers=4, trace=False):
+                 cache_size=256, seed=0, max_workers=4, trace=False,
+                 walk_workers=1):
         from repro.serving.cache import SingleFlightCache
         from repro.serving.epoch import EpochGate
 
         if max_workers < 1:
             raise ParameterError(
                 f"max_workers must be >= 1, got {max_workers}"
+            )
+        if walk_workers < 1:
+            raise ParameterError(
+                f"walk_workers must be >= 1, got {walk_workers}"
             )
         self._builder = GraphBuilder(graph=graph)
         self._graph = self._builder.build()
@@ -96,14 +111,42 @@ class ConcurrentQueryEngine:
         self._trace_enabled = bool(trace)
         self._traces = []
         self._stats_lock = threading.Lock()
+        self._walk_workers = int(walk_workers)
+        self._walk_executor = None
+        self._walk_lock = threading.Lock()
         self.stats = ServiceStats()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self):
-        """Shut the worker pool down (waits for in-flight queries)."""
+        """Shut the worker pools down (waits for in-flight queries)."""
         self._executor.shutdown(wait=True)
+        self._retire_walk_executor()
+
+    def _walk_executor_for(self, graph):
+        """The shared walk pool for the current snapshot (or ``None``).
+
+        Created lazily under its own lock; callers hold the read gate,
+        so the snapshot cannot change underneath the pool while it is
+        being created or used.
+        """
+        if self._walk_workers <= 1:
+            return None
+        with self._walk_lock:
+            if self._walk_executor is None:
+                from repro.walks.parallel import ParallelWalkExecutor
+
+                self._walk_executor = ParallelWalkExecutor(
+                    graph, self._walk_workers
+                )
+            return self._walk_executor
+
+    def _retire_walk_executor(self):
+        with self._walk_lock:
+            if self._walk_executor is not None:
+                self._walk_executor.close()
+                self._walk_executor = None
 
     def __enter__(self):
         return self
@@ -185,6 +228,8 @@ class ConcurrentQueryEngine:
                 graph, source,
                 accuracy=accuracy or AccuracyParams.paper_defaults(graph.n),
                 seed=self._seed + source, trace=trace,
+                walk_workers=self._walk_workers,
+                walk_executor=self._walk_executor_for(graph),
             )
         elapsed = time.perf_counter() - tic
         with self._stats_lock:
@@ -234,6 +279,10 @@ class ConcurrentQueryEngine:
                 gate.advance()
                 self._graph = self._builder.build()
                 cleared = self._cache.invalidate()
+                # Retire the walk pool inside the write gate: it shares
+                # the old snapshot's CSR pages, and quiescence guarantees
+                # no query is mid-walk on it.
+                self._retire_walk_executor()
                 with self._stats_lock:
                     self.stats.updates += 1
                     self.stats.invalidations += cleared

@@ -1,4 +1,4 @@
-"""Vectorized random-walk simulation engine."""
+"""Vectorized random-walk simulation engine (serial and process-parallel)."""
 
 from repro.walks.engine import (
     MAX_WALK_STEPS,
@@ -9,9 +9,12 @@ from repro.walks.engine import (
     walk_visit_mass,
     walks_from_single_source,
 )
+from repro.walks.parallel import ParallelWalkExecutor, SharedCSRGraph
 
 __all__ = [
     "MAX_WALK_STEPS",
+    "ParallelWalkExecutor",
+    "SharedCSRGraph",
     "residue_weighted_walks",
     "sample_walk_endpoints",
     "sample_walk_endpoints_batch",

@@ -56,13 +56,18 @@ def walk_terminal_mass(graph, starts, alpha, rng, *, weights=None,
     if chunk_size is not None and starts.shape[0] > chunk_size:
         if starts.ndim != 1:
             raise ParameterError("starts must be a 1-D array of node ids")
+        # Convert weights exactly once -- re-running asarray over the
+        # full array per chunk would cost O(chunks * total walks).
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != starts.shape:
+                raise ParameterError("weights must match starts in shape")
         mass = np.zeros(graph.n, dtype=np.float64)
         for begin in range(0, starts.shape[0], chunk_size):
             end = begin + chunk_size
             mass += walk_terminal_mass(
                 graph, starts[begin:end], alpha, rng,
-                weights=None if weights is None
-                else np.asarray(weights, dtype=np.float64)[begin:end],
+                weights=None if weights is None else weights[begin:end],
                 source=source, max_steps=max_steps, chunk_size=None,
             )
         return mass
@@ -139,7 +144,8 @@ def walks_from_single_source(graph, source, num_walks, alpha, rng,
 
 
 def residue_weighted_walks(graph, residue, total_walks, alpha, rng, *,
-                           source=None, estimator="terminal", trace=None):
+                           source=None, estimator="terminal", trace=None,
+                           walk_workers=1, walk_seed=None, executor=None):
     """The remedy-phase sampler shared by ResAcc and FORA (Algorithm 2).
 
     Each node ``v`` with positive residue launches
@@ -156,13 +162,29 @@ def residue_weighted_walks(graph, residue, total_walks, alpha, rng, *,
     The visits estimator requires the ``"absorb"`` policy.
 
     ``trace`` is an optional :class:`repro.obs.QueryTrace`; walk totals
-    are flushed into it once, after the batch completes.
+    (and, on the parallel path, per-shard walk counts) are flushed into
+    it once, after the batch completes.
+
+    ``walk_workers`` > 1 (or an explicit ``executor``) shards the walk
+    batch across a :class:`repro.walks.parallel.ParallelWalkExecutor`.
+    The parallel path draws from per-shard ``SeedSequence(walk_seed)``
+    streams instead of ``rng`` and therefore *requires* ``walk_seed``;
+    results are byte-identical across runs for a fixed ``(walk_seed,
+    n_shards)``.  The default ``walk_workers=1`` path is bit-for-bit
+    identical to the historical serial sampler (it consumes ``rng``
+    exactly as before).  See ``docs/parallel_walks.md``.
 
     Returns ``(mass, walks_used)``.
     """
     if estimator not in ("terminal", "visits"):
         raise ParameterError(
             f"estimator must be 'terminal' or 'visits', got {estimator!r}"
+        )
+    parallel = executor is not None or walk_workers > 1
+    if parallel and walk_seed is None:
+        raise ParameterError(
+            "walk_workers > 1 requires walk_seed: per-shard RNG streams "
+            "are spawned from SeedSequence(walk_seed), not from rng"
         )
     residue = np.asarray(residue, dtype=np.float64)
     positive = np.flatnonzero(residue > 0.0)
@@ -176,16 +198,45 @@ def residue_weighted_walks(graph, residue, total_walks, alpha, rng, *,
     per_node = np.maximum(per_node, 1)
     starts = np.repeat(positive, per_node)
     weights = np.repeat(r_pos / per_node, per_node)
+    walks_used = int(per_node.sum())
+    if parallel:
+        mass, shard_sizes = _parallel_walk_batch(
+            graph, starts, weights, alpha, source=source,
+            estimator=estimator, walk_seed=walk_seed,
+            walk_workers=walk_workers, executor=executor,
+        )
+        if trace is not None:
+            trace.add_counters(walks=walks_used,
+                               walk_origins=int(positive.size),
+                               walk_shards=len(shard_sizes))
+            trace.note(walk_shard_walks=shard_sizes)
+        return mass, walks_used
     if estimator == "visits":
         mass = walk_visit_mass(graph, starts, alpha, rng, weights=weights)
     else:
         mass = walk_terminal_mass(graph, starts, alpha, rng,
                                   weights=weights, source=source)
-    walks_used = int(per_node.sum())
     if trace is not None:
         trace.add_counters(walks=walks_used,
                            walk_origins=int(positive.size))
     return mass, walks_used
+
+
+def _parallel_walk_batch(graph, starts, weights, alpha, *, source,
+                         estimator, walk_seed, walk_workers, executor):
+    """Dispatch one walk batch to a (possibly temporary) process pool."""
+    from repro.walks.parallel import ParallelWalkExecutor
+
+    if executor is not None:
+        return executor.run(
+            starts, alpha, weights=weights, source=source,
+            seed=walk_seed, estimator=estimator,
+        )
+    with ParallelWalkExecutor(graph, walk_workers) as pool:
+        return pool.run(
+            starts, alpha, weights=weights, source=source,
+            seed=walk_seed, estimator=estimator,
+        )
 
 
 def sample_walk_endpoints_batch(graph, starts, alpha, rng):

@@ -1,0 +1,304 @@
+"""Process-parallel random-walk execution over a shared-memory CSR graph.
+
+The remedy phase dominates ResAcc query time (Table VII), and the
+vectorized engine in :mod:`repro.walks.engine` advances every walk on a
+single core.  This module shards one walk batch -- the ``(starts,
+weights)`` arrays produced by :func:`repro.walks.residue_weighted_walks`
+-- across a ``ProcessPoolExecutor`` so the kernel scales with hardware
+instead of being pinned to one core by the interpreter.
+
+Two mechanisms make the fan-out cheap and reproducible:
+
+* **Zero-copy graph sharing.**  :class:`SharedCSRGraph` exports the CSR
+  arrays (``indptr`` / ``indices`` / ``out_degrees``) into POSIX shared
+  memory once; workers attach by *name* and wrap the same pages in numpy
+  views.  The graph is never pickled -- only the tiny handle dict and
+  the per-shard start/weight slices cross the process boundary.
+
+* **Per-shard RNG streams.**  Shard ``i`` of ``k`` draws from
+  ``numpy.random.SeedSequence(seed).spawn(k)[i]`` -- independent,
+  non-overlapping streams by construction.  Shard boundaries are a pure
+  function of ``(len(starts), k)`` and shard masses are reduced in shard
+  order, so the result is **byte-identical across runs for a fixed**
+  ``(seed, k)`` and statistically equivalent (same estimator, same walk
+  budget) across shard counts.  See ``docs/parallel_walks.md`` for the
+  full determinism contract.
+
+The executor holds a persistent worker pool (``spawn`` start method, so
+it is safe inside threaded services like
+:class:`repro.serving.ConcurrentQueryEngine`) and is bound to one graph
+snapshot; services re-create it after a mutation.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Arrays exported for each graph, in a fixed order.
+_SHARED_ARRAYS = ("indptr", "indices", "out_degrees")
+
+
+class _GraphView:
+    """Worker-side stand-in for :class:`repro.graph.CSRGraph`.
+
+    Exposes exactly the surface the walk kernels touch (``n``,
+    ``indptr``, ``indices``, ``out_degrees``, ``dangling``) backed by
+    shared-memory numpy views -- no copy, no validation.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "out_degrees", "dangling")
+
+    def __init__(self, n, indptr, indices, out_degrees, dangling):
+        self.n = n
+        self.indptr = indptr
+        self.indices = indices
+        self.out_degrees = out_degrees
+        self.dangling = dangling
+
+
+class SharedCSRGraph:
+    """A graph's CSR arrays exported into named shared-memory blocks.
+
+    The creating process owns the blocks: :meth:`close` (or the context
+    manager) unlinks them.  :attr:`handle` is the small picklable dict
+    workers use to attach.
+    """
+
+    def __init__(self, graph):
+        self._blocks = []
+        arrays = {}
+        for name in _SHARED_ARRAYS:
+            arr = np.ascontiguousarray(getattr(graph, name))
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(arr.nbytes, 1)
+            )
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            if arr.size:
+                view[:] = arr
+            self._blocks.append(shm)
+            arrays[name] = (shm.name, arr.shape, arr.dtype.str)
+        self.handle = {
+            "n": int(graph.n),
+            "dangling": graph.dangling,
+            "arrays": arrays,
+        }
+        self._closed = False
+
+    def close(self):
+        """Release and unlink every shared block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in self._blocks:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # already unlinked elsewhere
+                pass
+        self._blocks = []
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __del__(self):  # best-effort safety net; close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side.  One attachment per (process, graph); the blocks stay
+# referenced until the pool shuts the process down.
+# ----------------------------------------------------------------------
+_ATTACHED = {}
+
+
+def _attach(handle):
+    key = tuple(spec[0] for spec in handle["arrays"].values())
+    cached = _ATTACHED.get(key)
+    if cached is not None:
+        return cached[0]
+    blocks, views = [], {}
+    for name in _SHARED_ARRAYS:
+        shm_name, shape, dtype = handle["arrays"][name]
+        shm = shared_memory.SharedMemory(name=shm_name)
+        blocks.append(shm)
+        views[name] = np.ndarray(tuple(shape), dtype=np.dtype(dtype),
+                                 buffer=shm.buf)
+    view = _GraphView(handle["n"], views["indptr"], views["indices"],
+                      views["out_degrees"], handle["dangling"])
+    _ATTACHED[key] = (view, blocks)
+    return view
+
+
+def _detach_all():
+    for _, blocks in _ATTACHED.values():
+        for shm in blocks:
+            try:
+                shm.close()
+            except Exception:
+                pass
+    _ATTACHED.clear()
+
+
+atexit.register(_detach_all)
+
+
+def _run_shard(handle, starts, weights, alpha, source, seed_seq,
+               estimator, max_steps, chunk_size):
+    """One shard's walks; runs inside a pool worker.
+
+    Returns ``(mass, num_walks)``.  ``seed_seq`` is the shard's spawned
+    :class:`numpy.random.SeedSequence` (picklable), turned into a fresh
+    generator here so streams never depend on worker scheduling.
+    """
+    from repro.walks.engine import walk_terminal_mass, walk_visit_mass
+
+    graph = _attach(handle)
+    rng = np.random.default_rng(seed_seq)
+    kwargs = {}
+    if max_steps is not None:
+        kwargs["max_steps"] = max_steps
+    if estimator == "visits":
+        mass = walk_visit_mass(graph, starts, alpha, rng, weights=weights,
+                               **kwargs)
+    else:
+        mass = walk_terminal_mass(graph, starts, alpha, rng,
+                                  weights=weights, source=source,
+                                  chunk_size=chunk_size, **kwargs)
+    return mass, int(starts.shape[0])
+
+
+class ParallelWalkExecutor:
+    """A persistent process pool bound to one shared graph snapshot.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`repro.graph.CSRGraph` to share (exported once, at
+        construction).
+    num_workers:
+        Pool width; also the default shard count, which is part of the
+        determinism key ``(seed, n_shards)``.
+    mp_context:
+        A multiprocessing context or start-method name.  Defaults to
+        ``"spawn"``: fork-safety inside threaded services outweighs the
+        one-time worker import cost, and the shared-memory graph makes
+        spawn as cheap as fork per task.
+
+    The executor is reusable across any number of :meth:`run` calls
+    (services keep one alive per graph epoch) and must be closed --
+    use it as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, graph, num_workers, *, mp_context="spawn"):
+        if num_workers < 1:
+            raise ParameterError(
+                f"num_workers must be >= 1, got {num_workers}"
+            )
+        self.num_workers = int(num_workers)
+        self._shared = SharedCSRGraph(graph)
+        if isinstance(mp_context, str):
+            mp_context = get_context(mp_context)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.num_workers, mp_context=mp_context
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def run(self, starts, alpha, *, weights=None, source=None, seed=0,
+            estimator="terminal", max_steps=None, chunk_size=None,
+            n_shards=None):
+        """Simulate one walk batch across the pool; returns
+        ``(mass, shard_sizes)``.
+
+        ``mass`` is the summed terminal (or visit) mass over all shards,
+        reduced in shard order; ``shard_sizes`` lists the number of
+        walks each shard ran (the per-shard counters services flush
+        into :class:`repro.obs.QueryTrace`).
+
+        ``n_shards`` defaults to :attr:`num_workers`.  For a fixed
+        ``(seed, n_shards)`` the result is byte-identical across runs
+        and across pool widths -- shard streams come from
+        ``SeedSequence(seed).spawn(n_shards)``, never from worker
+        identity or scheduling.
+        """
+        if self._closed:
+            raise ParameterError("executor is closed")
+        starts = np.asarray(starts, dtype=np.int64)
+        if starts.ndim != 1:
+            raise ParameterError("starts must be a 1-D array of node ids")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != starts.shape:
+                raise ParameterError("weights must match starts in shape")
+        n_shards = self.num_workers if n_shards is None else int(n_shards)
+        if n_shards < 1:
+            raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
+        n = self.handle["n"]
+        if starts.size == 0:
+            return np.zeros(n, dtype=np.float64), [0] * n_shards
+        bounds = np.linspace(0, starts.shape[0], n_shards + 1).astype(np.int64)
+        streams = np.random.SeedSequence(int(seed)).spawn(n_shards)
+        futures = [
+            self._pool.submit(
+                _run_shard, self.handle,
+                starts[bounds[i]:bounds[i + 1]],
+                None if weights is None else weights[bounds[i]:bounds[i + 1]],
+                float(alpha), source, streams[i], estimator, max_steps,
+                chunk_size,
+            )
+            for i in range(n_shards)
+        ]
+        mass = np.zeros(n, dtype=np.float64)
+        shard_sizes = []
+        # Reduce in shard order: float addition is not associative, and
+        # a fixed order is what makes repeated runs byte-identical.
+        for future in futures:
+            shard_mass, shard_walks = future.result()
+            mass += shard_mass
+            shard_sizes.append(shard_walks)
+        return mass, shard_sizes
+
+    # ------------------------------------------------------------------
+    @property
+    def handle(self):
+        """The picklable shared-graph descriptor (name/shape/dtype)."""
+        return self._shared.handle
+
+    def close(self):
+        """Shut the pool down and unlink the shared blocks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        self._shared.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return (f"ParallelWalkExecutor(workers={self.num_workers}, "
+                f"n={self.handle['n']}, {state})")

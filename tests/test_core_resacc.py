@@ -119,6 +119,33 @@ class TestResAccDiagnostics:
             resacc(ba_graph, ba_graph.n, seed=0)
 
 
+class TestTraceReturn:
+    """Pin the result's ``.trace`` field against the NULL_TRACE rebinding
+    bug: ``trace or None`` evaluated after ``trace`` was rebound to the
+    falsy NULL_TRACE, so a caller-supplied trace was returned correctly
+    only by accident of operator ordering -- and a refactor returning the
+    rebound name would silently drop it."""
+
+    def test_no_trace_returns_none(self, ba_graph):
+        assert resacc(ba_graph, 0, seed=1).trace is None
+
+    def test_supplied_trace_is_returned(self, ba_graph):
+        from repro.obs import QueryTrace
+
+        trace = QueryTrace()
+        result = resacc(ba_graph, 0, seed=1, trace=trace)
+        assert result.trace is trace
+        assert [p.name for p in trace.phases] == ["hhopfwd", "omfwd",
+                                                  "remedy"]
+
+    def test_traced_estimates_identical_to_untraced(self, ba_graph):
+        from repro.obs import QueryTrace
+
+        plain = resacc(ba_graph, 4, seed=2).estimates
+        traced = resacc(ba_graph, 4, seed=2, trace=QueryTrace()).estimates
+        assert plain.tobytes() == traced.tobytes()
+
+
 class TestParams:
     def test_invalid_params(self):
         with pytest.raises(ParameterError):

@@ -138,6 +138,94 @@ class TestSchedulingEquivalence:
         assert np.all(residue < push_thresholds(ba_graph, 1e-6))
 
 
+def parallel_edge_graph():
+    """A raw CSR graph with duplicated edges (from_edges would dedupe).
+
+    Node 0 has two parallel edges to 1 and one to 2; node 1 has two
+    parallel edges to 2; node 2 closes the cycle back to 0.
+    """
+    from repro.graph import CSRGraph
+
+    return CSRGraph(
+        3,
+        np.array([0, 3, 5, 6], dtype=np.int64),
+        np.array([1, 1, 2, 2, 2, 0], dtype=np.int64),
+    )
+
+
+class TestParallelEdges:
+    """Duplicate-edge regression: fancy-index ``+=`` buffers duplicate
+    targets, so a neighbour behind k parallel edges used to receive a
+    single share instead of k -- losing mass -- and the queue scheduler
+    additionally enqueued it k times."""
+
+    def test_single_push_scales_by_multiplicity(self):
+        g = parallel_edge_graph()
+        reserve, residue = init_state(g, 0)
+        single_push(g, 0, reserve, residue, ALPHA)
+        # Node 0 spreads (1 - alpha) over out-degree 3: two shares to
+        # node 1, one share to node 2.
+        assert reserve[0] == pytest.approx(ALPHA)
+        assert residue[1] == pytest.approx(2.0 * (1 - ALPHA) / 3.0)
+        assert residue[2] == pytest.approx(1.0 * (1 - ALPHA) / 3.0)
+        assert reserve.sum() + residue.sum() == pytest.approx(1.0,
+                                                              abs=1e-15)
+
+    @pytest.mark.parametrize("method", ["frontier", "queue", "priority"])
+    def test_mass_conserved(self, method):
+        g = parallel_edge_graph()
+        reserve, residue = init_state(g, 0)
+        forward_push_loop(g, reserve, residue, ALPHA, 1e-10, method=method)
+        assert reserve.sum() + residue.sum() == pytest.approx(1.0,
+                                                              abs=1e-12)
+
+    def test_all_schedulers_reach_identical_fixpoint(self):
+        g = parallel_edge_graph()
+        reserves = {}
+        for method in ("frontier", "queue", "priority"):
+            reserve, residue = init_state(g, 0)
+            forward_push_loop(g, reserve, residue, ALPHA, 1e-12,
+                              method=method)
+            reserves[method] = reserve
+        for method in ("queue", "priority"):
+            gap = np.max(np.abs(reserves["frontier"] - reserves[method]))
+            assert gap < 1e-9
+
+    def test_queue_does_not_double_enqueue(self):
+        # One push at node 0 makes node 1 hot via two parallel edges.
+        # The worklist must hold node 1 once: re-processing a drained
+        # node is skipped by the residue re-check, so the tell is the
+        # push count -- it must match a deduplicated-edge graph that
+        # carries the same transition probabilities.
+        g = parallel_edge_graph()
+        reserve, residue = init_state(g, 0)
+        stats = forward_push_loop(g, reserve, residue, ALPHA, 1e-10,
+                                  method="queue")
+        # Same random-walk semantics without duplicates: 0->1 with
+        # probability 2/3 and 0->2 with 1/3 is not expressible in an
+        # unweighted simple graph, so compare against the priority
+        # scheduler on the same graph instead -- one heap entry per
+        # neighbour means push counts agree when no entry goes stale.
+        reserve_p, residue_p = init_state(g, 0)
+        stats_p = forward_push_loop(g, reserve_p, residue_p, ALPHA, 1e-10,
+                                    method="priority")
+        assert stats.pushes == stats_p.pushes
+
+    def test_invariant_against_power_iteration(self):
+        # power_iteration consumes the CSR arrays directly, so parallel
+        # edges weight its transition matrix identically; a partial push
+        # state must satisfy Equation 2 against that ground truth.
+        g = parallel_edge_graph()
+        truth_vectors = [
+            power_iteration(g, v, alpha=ALPHA, tol=1e-14).estimates
+            for v in range(g.n)
+        ]
+        reserve, residue = init_state(g, 0)
+        forward_push_loop(g, reserve, residue, ALPHA, 0.05)
+        gap = push_invariant_gap(g, 0, reserve, residue, truth_vectors)
+        assert gap < 1e-12
+
+
 class TestValidation:
     def test_bad_alpha(self, tiny_graph):
         reserve, residue = init_state(tiny_graph, 0)

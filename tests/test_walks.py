@@ -161,3 +161,92 @@ class TestChunking:
         starts = np.zeros(30_000, dtype=np.int64)
         mass = walk_terminal_mass(g, starts, ALPHA, rng, chunk_size=4_096)
         assert np.max(np.abs(mass / starts.size - truth)) < 0.02
+
+
+class TestChunkedEquivalence:
+    """Chunked and unchunked runs must agree walk-for-walk.
+
+    An edgeless graph pins every walk to its start node regardless of the
+    RNG stream, so the terminal mass is exactly
+    ``bincount(starts, weights)`` -- any weight misalignment or dropped
+    slice shows up as an exact mismatch, not statistical noise.
+    """
+
+    @staticmethod
+    def _edgeless(n):
+        from repro.graph import CSRGraph
+
+        return CSRGraph(n, np.zeros(n + 1, dtype=np.int64),
+                        np.empty(0, dtype=np.int64))
+
+    def test_weights_exact_vs_unchunked(self):
+        g = self._edgeless(8)
+        starts = np.arange(40, dtype=np.int64) % g.n
+        weights = np.linspace(0.1, 4.0, 40)
+        unchunked = walk_terminal_mass(g, starts, ALPHA,
+                                       np.random.default_rng(0),
+                                       weights=weights)
+        chunked = walk_terminal_mass(g, starts, ALPHA,
+                                     np.random.default_rng(0),
+                                     weights=weights, chunk_size=7)
+        expected = np.bincount(starts, weights=weights, minlength=g.n)
+        assert np.array_equal(unchunked, expected)
+        assert np.array_equal(chunked, expected)
+
+    @pytest.mark.parametrize("size_delta", [-1, 0, 1])
+    def test_exact_chunk_boundaries(self, size_delta):
+        # Batch sizes straddling an exact multiple of the chunk size:
+        # the last slice is full, exactly empty-adjacent, or length 1.
+        chunk = 16
+        g = self._edgeless(5)
+        n_walks = 3 * chunk + size_delta
+        starts = (np.arange(n_walks, dtype=np.int64) * 7) % g.n
+        weights = 1.0 + np.arange(n_walks, dtype=np.float64)
+        mass = walk_terminal_mass(g, starts, ALPHA,
+                                  np.random.default_rng(0),
+                                  weights=weights, chunk_size=chunk)
+        expected = np.bincount(starts, weights=weights, minlength=g.n)
+        assert np.array_equal(mass, expected)
+
+    def test_list_weights_accepted(self):
+        # The chunked path converts weights to an array exactly once;
+        # plain Python lists must still work (and slice correctly).
+        g = self._edgeless(4)
+        starts = np.array([0, 1, 2, 3, 0, 1], dtype=np.int64)
+        mass = walk_terminal_mass(g, starts, ALPHA,
+                                  np.random.default_rng(0),
+                                  weights=[1, 2, 3, 4, 5, 6],
+                                  chunk_size=4)
+        assert np.array_equal(mass, np.array([6.0, 8.0, 3.0, 4.0]))
+
+    def test_restart_policy_conserves_mass_chunked(self):
+        # Under "restart" every walk ends only via the alpha-coin, so the
+        # total deposited weight equals the weight sum exactly -- chunked
+        # or not -- and a per-chunk `source` override must survive slicing.
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)]).with_dangling("restart")
+        starts = np.zeros(5_000, dtype=np.int64)
+        weights = np.full(5_000, 2e-4)
+        for chunk in (None, 640):
+            mass = walk_terminal_mass(g, starts, ALPHA,
+                                      np.random.default_rng(3),
+                                      weights=weights, source=0,
+                                      chunk_size=chunk)
+            assert mass.sum() == pytest.approx(weights.sum(), abs=1e-12)
+
+    def test_restart_policy_distribution_chunked(self):
+        from repro.baselines.power import power_iteration
+
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)]).with_dangling("restart")
+        truth = power_iteration(g, 0, alpha=ALPHA, tol=1e-13).estimates
+        starts = np.zeros(60_000, dtype=np.int64)
+        mass = walk_terminal_mass(g, starts, ALPHA,
+                                  np.random.default_rng(4),
+                                  source=0, chunk_size=8_192)
+        assert np.max(np.abs(mass / starts.size - truth)) < 0.02
+
+    def test_chunked_weight_shape_mismatch_raises(self):
+        g = self._edgeless(3)
+        with pytest.raises(ParameterError):
+            walk_terminal_mass(g, np.zeros(10, np.int64), ALPHA,
+                               np.random.default_rng(0),
+                               weights=np.ones(9), chunk_size=4)
