@@ -4,11 +4,13 @@ from repro.bench.appendix import APPENDIX_EXPERIMENTS
 from repro.bench.experiments import MAIN_EXPERIMENTS
 from repro.bench.extensions import EXTENSION_EXPERIMENTS
 from repro.bench.harness import (
+    PUSH_BENCH_KIND,
     SERVING_BENCH_KIND,
     BenchConfig,
     GroundTruthCache,
     SolverRun,
     export_suite_traces,
+    push_benchmark,
     run_suite,
     serving_benchmark,
     suite_traces,
@@ -29,11 +31,13 @@ __all__ = [
     "EXTENSION_EXPERIMENTS",
     "GroundTruthCache",
     "MAIN_EXPERIMENTS",
+    "PUSH_BENCH_KIND",
     "SERVING_BENCH_KIND",
     "Series",
     "SolverRun",
     "Table",
     "export_suite_traces",
+    "push_benchmark",
     "render_all",
     "run_suite",
     "serving_benchmark",

@@ -322,6 +322,172 @@ def walks_benchmark(graph, *, source=0, workers=4, total_walks=2_000_000,
     }
 
 
+#: File-format marker written by :func:`push_benchmark` consumers
+#: (``repro-bench push --json``).
+PUSH_BENCH_KIND = "repro-push-bench"
+
+
+def push_benchmark(graph, *, num_sources=8, h=1, alpha=0.2, seed=0,
+                   repeats=3, backend="numpy"):
+    """Push-kernel benchmark: output-sensitive kernels vs. the seed loop.
+
+    Reconstructs the two push phases of a real ResAcc query -- h-HopFWD
+    (push restricted to ``V_h(s) \\ {s}`` at ``r_max_hop``) and OMFWD
+    (the boundary drain at ``r_max_f = 1/(10 m)``) -- for
+    ``num_sources`` deterministic random sources, and times each phase
+    two ways over ``repeats`` runs:
+
+    * ``seed`` -- :func:`repro.push.kernels.dense_reference_loop`, the
+      pre-kernel frontier scheduler (dense eligibility scan +
+      ``bincount(minlength=n)`` scatter per round);
+    * ``kernel`` -- :func:`repro.push.forward.forward_push_loop` with
+      the requested ``backend`` (``numpy`` by default -- the CI gate
+      excludes numba so the speedup is attributable to the
+      output-sensitive loop alone).
+
+    Per-phase and end-to-end speedups use the best (minimum) total over
+    the repeats -- the standard estimator for a deterministic CPU-bound
+    kernel.  Two correctness probes ride along: ``fixpoint_equivalent``
+    (both implementations reach the same fixpoint to within
+    ``equivalence_tol = 1e-12``) and ``mass_conserved`` (the kernel's
+    ``sum(reserve) + sum(residue)`` equals 1 to within 1e-12 for every
+    source).
+
+    Returns a JSON-safe dict (``kind = "repro-push-bench"``).
+    """
+    from repro.community.seeding import random_seeds
+    from repro.core.params import ResAccParams
+    from repro.graph.hop import hop_structure
+    from repro.push.forward import (
+        PushStats,
+        forward_push_loop,
+        init_state,
+        single_push,
+    )
+    from repro.push.kernels import dense_reference_loop
+
+    params = ResAccParams(alpha=alpha, h=int(h))
+    r_max_hop = params.r_max_hop
+    r_max_f = params.bound_r_max_f(graph)
+    sources = [int(s) for s in random_seeds(graph, num_sources, seed=seed)]
+
+    cases = []
+    for source in sources:
+        reserve, residue = init_state(graph, source)
+        single_push(graph, source, reserve, residue, alpha, source=source)
+        hops = hop_structure(graph, source, params.h + 1)
+        can_push = hops.within(params.h)
+        can_push[source] = False
+        cases.append((source, reserve, residue, can_push))
+
+    def run_phases(loop_hhop, loop_omfwd):
+        """One timed pass over all sources; returns per-phase seconds
+        and the final (reserve, residue) per source."""
+        seconds = {"hhop": 0.0, "omfwd": 0.0}
+        states = []
+        for source, reserve0, residue0, can_push in cases:
+            reserve, residue = reserve0.copy(), residue0.copy()
+            tic = time.perf_counter()
+            loop_hhop(reserve, residue, can_push, source)
+            seconds["hhop"] += time.perf_counter() - tic
+            tic = time.perf_counter()
+            loop_omfwd(reserve, residue, source)
+            seconds["omfwd"] += time.perf_counter() - tic
+            states.append((reserve, residue))
+        return seconds, states
+
+    def seed_hhop(reserve, residue, can_push, source):
+        dense_reference_loop(graph, reserve, residue, alpha, r_max_hop,
+                             can_push=can_push, source=source)
+
+    def seed_omfwd(reserve, residue, source):
+        dense_reference_loop(graph, reserve, residue, alpha, r_max_f,
+                             source=source)
+
+    kernel_stats = PushStats()
+
+    def kernel_hhop(reserve, residue, can_push, source):
+        stats = forward_push_loop(graph, reserve, residue, alpha, r_max_hop,
+                                  can_push=can_push, source=source,
+                                  method="frontier", backend=backend)
+        kernel_stats.merge(stats)
+
+    def kernel_omfwd(reserve, residue, source):
+        stats = forward_push_loop(graph, reserve, residue, alpha, r_max_f,
+                                  source=source, method="frontier",
+                                  backend=backend)
+        kernel_stats.merge(stats)
+
+    # Warm-up (JIT compilation for numba, transpose build for numpy).
+    run_phases(kernel_hhop, kernel_omfwd)
+
+    seed_runs, kernel_runs = [], []
+    seed_states = kernel_states = None
+    for _ in range(repeats):
+        seconds, seed_states = run_phases(seed_hhop, seed_omfwd)
+        seed_runs.append(seconds)
+        kernel_stats.__init__()  # keep counters from the measured run only
+        seconds, kernel_states = run_phases(kernel_hhop, kernel_omfwd)
+        kernel_runs.append(seconds)
+
+    equivalence_tol = 1e-12
+    fixpoint_gap = 0.0
+    mass_gap = 0.0
+    for (seed_res, seed_rid), (ker_res, ker_rid) in zip(seed_states,
+                                                        kernel_states):
+        fixpoint_gap = max(
+            fixpoint_gap,
+            float(np.max(np.abs(seed_res - ker_res))),
+            float(np.max(np.abs(seed_rid - ker_rid))),
+        )
+        mass_gap = max(mass_gap, abs(
+            float(ker_res.sum()) + float(ker_rid.sum()) - 1.0))
+
+    def best_total(runs, phase=None):
+        if phase is None:
+            return min(r["hhop"] + r["omfwd"] for r in runs)
+        return min(r[phase] for r in runs)
+
+    seed_best = best_total(seed_runs)
+    kernel_best = best_total(kernel_runs)
+    doc = {
+        "kind": PUSH_BENCH_KIND,
+        "graph": {"n": graph.n, "m": graph.m},
+        "alpha": alpha,
+        "h": int(params.h),
+        "r_max_hop": r_max_hop,
+        "r_max_f": r_max_f,
+        "sources": sources,
+        "repeats": int(repeats),
+        "backend": backend,
+        "seed_seconds": {
+            "hhop": best_total(seed_runs, "hhop"),
+            "omfwd": best_total(seed_runs, "omfwd"),
+            "total": seed_best,
+        },
+        "kernel_seconds": {
+            "hhop": best_total(kernel_runs, "hhop"),
+            "omfwd": best_total(kernel_runs, "omfwd"),
+            "total": kernel_best,
+        },
+        "hhop_speedup": (best_total(seed_runs, "hhop")
+                         / best_total(kernel_runs, "hhop")),
+        "omfwd_speedup": (best_total(seed_runs, "omfwd")
+                          / best_total(kernel_runs, "omfwd")),
+        "speedup": (seed_best / kernel_best
+                    if kernel_best > 0 else float("inf")),
+        "sparse_rounds": int(kernel_stats.sparse_rounds),
+        "dense_rounds": int(kernel_stats.dense_rounds),
+        "pushes": int(kernel_stats.pushes),
+        "equivalence_tol": equivalence_tol,
+        "fixpoint_gap": fixpoint_gap,
+        "mass_gap": mass_gap,
+        "fixpoint_equivalent": fixpoint_gap <= equivalence_tol,
+        "mass_conserved": mass_gap <= 1e-12,
+    }
+    return doc
+
+
 def serving_benchmark(graph, *, num_unique=8, repeat=3, num_workers=4,
                       accuracy=None, seed=0, cache_size=256):
     """Batched-throughput benchmark: ``query_batch`` vs. sequential loops.

@@ -96,6 +96,31 @@ def build_parser():
     walks_cmd.add_argument("--min-speedup", type=float, default=None,
                            help="exit non-zero unless parallel speedup vs. "
                                 "the serial kernel reaches this")
+    push_cmd = sub.add_parser(
+        "push",
+        help="benchmark the output-sensitive push kernels vs the seed loop",
+    )
+    push_cmd.add_argument("dataset", help="dataset name from the catalog")
+    push_cmd.add_argument("--sources", type=int, default=8,
+                          help="number of deterministic random sources")
+    push_cmd.add_argument("--h", type=int, default=None,
+                          help="hop parameter (default: the bench h "
+                               "for the dataset)")
+    push_cmd.add_argument("--repeats", type=int, default=3,
+                          help="timed passes per variant (best reported)")
+    push_cmd.add_argument("--scale", type=float, default=1.0,
+                          help="dataset scale factor")
+    push_cmd.add_argument("--seed", type=int, default=0)
+    push_cmd.add_argument("--backend", default="numpy",
+                          choices=["numpy", "numba", "auto"],
+                          help="frontier kernel backend to measure "
+                               "(default numpy, the reference)")
+    push_cmd.add_argument("--json", metavar="PATH", default=None,
+                          help="write the benchmark document "
+                               "(e.g. BENCH_push.json)")
+    push_cmd.add_argument("--min-speedup", type=float, default=None,
+                          help="exit non-zero unless the end-to-end "
+                               "hhop+omfwd speedup reaches this")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment",
                      help="experiment id from 'list', or 'all'")
@@ -144,6 +169,8 @@ def main(argv=None):
         return _run_serve_batch(args)
     if args.command == "walks":
         return _run_walks_bench(args)
+    if args.command == "push":
+        return _run_push_bench(args)
     if args.command == "compare":
         from repro.bench.compare import compare_files
 
@@ -313,6 +340,59 @@ def _run_walks_bench(args):
         return 1
     if not doc["mass_conserved"]:
         print("terminal mass does not sum to r_sum", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and doc["speedup"] < args.min_speedup:
+        print(f"speedup {doc['speedup']:.2f}x below required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_push_bench(args):
+    import json
+
+    from repro.bench.harness import push_benchmark
+    from repro.datasets import catalog
+    from repro.errors import ParameterError
+
+    try:
+        graph = catalog.load(args.dataset, scale=args.scale)
+        h = args.h if args.h is not None else catalog.bench_h(args.dataset)
+        doc = push_benchmark(
+            graph, num_sources=args.sources, h=h, seed=args.seed,
+            repeats=args.repeats, backend=args.backend,
+        )
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"{args.dataset} (n={graph.n}, m={graph.m})  h={doc['h']}, "
+          f"{len(doc['sources'])} sources, backend={doc['backend']}")
+    for phase in ("hhop", "omfwd"):
+        print(f"  {phase:<6} seed {doc['seed_seconds'][phase]:8.4f} s   "
+              f"kernel {doc['kernel_seconds'][phase]:8.4f} s   "
+              f"({doc[f'{phase}_speedup']:.2f}x)")
+    print(f"  total  seed {doc['seed_seconds']['total']:8.4f} s   "
+          f"kernel {doc['kernel_seconds']['total']:8.4f} s   "
+          f"({doc['speedup']:.2f}x)")
+    print(f"  rounds: {doc['sparse_rounds']} sparse / "
+          f"{doc['dense_rounds']} dense; {doc['pushes']} pushes")
+    print(f"  fixpoint gap {doc['fixpoint_gap']:.2e} "
+          f"(tol {doc['equivalence_tol']:.0e}), "
+          f"mass gap {doc['mass_gap']:.2e}")
+    if args.json:
+        from pathlib import Path
+
+        from repro.obs.export import _json_safe
+
+        path = Path(args.json)
+        path.write_text(json.dumps(_json_safe(doc), indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"  written to {path}")
+    if not doc["fixpoint_equivalent"]:
+        print("kernel fixpoint diverged from the seed loop", file=sys.stderr)
+        return 1
+    if not doc["mass_conserved"]:
+        print("reserve + residue mass drifted from 1", file=sys.stderr)
         return 1
     if args.min_speedup is not None and doc["speedup"] < args.min_speedup:
         print(f"speedup {doc['speedup']:.2f}x below required "

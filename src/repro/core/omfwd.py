@@ -20,7 +20,8 @@ from repro.push.forward import forward_push_loop, push_thresholds
 
 
 def omfwd(graph, reserve, residue, alpha, r_max_f, *, boundary_nodes=None,
-          source=None, method="frontier", max_pushes=None, trace=None):
+          source=None, method="frontier", max_pushes=None, backend=None,
+          trace=None):
     """Run OMFWD in place on ``(reserve, residue)``.
 
     ``boundary_nodes`` is the ``L_{h+1}`` layer; with the queue scheduler
@@ -29,8 +30,9 @@ def omfwd(graph, reserve, residue, alpha, r_max_f, *, boundary_nodes=None,
     possible after the updating phase rescaled the subgraph -- is enqueued
     after them, so the pass always terminates with no eligible node left.
 
-    ``trace`` is an optional :class:`repro.obs.QueryTrace`; the push
-    loop flushes its counters into it once, on return.
+    ``backend`` selects the frontier push kernel.  ``trace`` is an
+    optional :class:`repro.obs.QueryTrace`; the push loop flushes its
+    counters into it once, on return.
 
     Returns :class:`repro.push.PushStats`.
     """
@@ -42,11 +44,13 @@ def omfwd(graph, reserve, residue, alpha, r_max_f, *, boundary_nodes=None,
     return forward_push_loop(
         graph, reserve, residue, alpha, r_max_f,
         source=source, seeds=seeds, method=method, max_pushes=max_pushes,
-        trace=trace,
+        backend=backend, trace=trace,
     )
 
 
 def _build_seed_order(graph, residue, r_max_f, boundary_nodes):
+    # push_thresholds hits the snapshot cache, so this no longer
+    # recomputes the vector the push loop is about to use.
     thresholds = push_thresholds(graph, r_max_f)
     eligible = residue >= thresholds
     if boundary_nodes is None:

@@ -60,6 +60,7 @@ class CSRGraph:
         "_out_degrees",
         "_rev_indptr",
         "_rev_indices",
+        "_push_cache",
     )
 
     def __init__(self, n, indptr, indices, *, dangling="absorb", validate=True):
@@ -70,6 +71,9 @@ class CSRGraph:
         self._out_degrees = None
         self._rev_indptr = None
         self._rev_indices = None
+        # Per-snapshot push-kernel state (thresholds, transpose operator,
+        # scratch pools), attached lazily by repro.push.kernels.
+        self._push_cache = None
         if validate:
             self._validate()
 

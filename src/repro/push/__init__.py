@@ -8,12 +8,26 @@ from repro.push.forward import (
     push_thresholds,
     single_push,
 )
+from repro.push.kernels import (
+    SnapshotPushCache,
+    dense_reference_loop,
+    get_push_cache,
+    numba_available,
+    release_push_cache,
+    resolve_backend,
+)
 
 __all__ = [
     "PushStats",
+    "SnapshotPushCache",
     "backward_push",
+    "dense_reference_loop",
     "forward_push_loop",
+    "get_push_cache",
     "init_state",
+    "numba_available",
     "push_thresholds",
+    "release_push_cache",
+    "resolve_backend",
     "single_push",
 ]

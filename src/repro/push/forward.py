@@ -8,13 +8,29 @@ satisfying the invariant (Equation 2)
 
     pi(s, t) = reserve(t) + sum_v residue(v) * pi(v, t).
 
-Two scheduling strategies are provided:
+Three scheduling strategies are provided:
 
 * ``"queue"`` -- the paper's FIFO formulation (Algorithms 1 and 4);
 * ``"frontier"`` -- all currently-eligible nodes push simultaneously in one
-  vectorized round (a Jacobi-style sweep).  Both terminate at a state where
-  no eligible node satisfies the push condition, and both preserve the
-  invariant exactly; they may differ in which valid fixpoint they reach.
+  vectorized round (a Jacobi-style sweep), dispatched to the
+  output-sensitive kernels in :mod:`repro.push.kernels` (numpy reference
+  or the optional numba backend, selected by ``REPRO_PUSH_BACKEND``);
+* ``"priority"`` -- Gauss-Southwell largest-ratio-first.
+
+All three terminate at a state where no node satisfies the push
+condition, and all preserve the invariant exactly; they may differ in
+which valid fixpoint they reach.  All three are output-sensitive: the
+frontier kernels track a candidate set of dirty nodes, and the
+queue/priority schedulers are worklist-driven by construction.
+
+Budget contract
+---------------
+``max_pushes`` raises :class:`~repro.errors.ConvergenceError` *at a
+work-unit boundary*: the frontier schedulers check the budget before
+applying a round, the queue/priority schedulers before applying a push.
+The raised state therefore always consists of fully-applied pushes --
+it still satisfies the invariant and ``sum(reserve) + sum(residue) ==
+1`` exactly; only convergence (no-eligible-node) is not reached.
 
 Dangling nodes honour the graph's policy: ``"absorb"`` converts the whole
 residue to reserve (the walk dies there), ``"restart"`` returns
@@ -29,7 +45,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConvergenceError, ParameterError
-from repro.graph.hop import expand_ranges
+from repro.push import kernels
 
 
 @dataclass
@@ -38,17 +54,24 @@ class PushStats:
 
     ``max_frontier`` is the largest number of nodes pushed in one round
     (only the frontier scheduler has rounds wider than one node).
+    ``sparse_rounds`` / ``dense_rounds`` count how often the frontier
+    kernel ran a candidate-tracked round versus a densely-scanned or
+    matvec round (single-node schedulers count every push as sparse).
     """
 
     pushes: int = 0
     rounds: int = 0
     max_frontier: int = 0
+    sparse_rounds: int = 0
+    dense_rounds: int = 0
 
     def merge(self, other):
         """Accumulate another run's counters into this one."""
         self.pushes += other.pushes
         self.rounds += other.rounds
         self.max_frontier = max(self.max_frontier, other.max_frontier)
+        self.sparse_rounds += other.sparse_rounds
+        self.dense_rounds += other.dense_rounds
         return self
 
 
@@ -57,9 +80,12 @@ def push_thresholds(graph, r_max):
 
     Node ``t`` is eligible when ``residue(t) >= thresholds[t]``.  Dangling
     nodes use ``r_max`` directly (the division by out-degree is undefined).
+
+    Cached per ``(graph snapshot, r_max)`` in the snapshot's
+    :class:`~repro.push.kernels.SnapshotPushCache`; the returned array is
+    read-only because concurrent queries share it.
     """
-    degrees = graph.out_degrees
-    return r_max * np.where(degrees > 0, degrees, 1).astype(np.float64)
+    return kernels.get_push_cache(graph).thresholds(r_max)
 
 
 def init_state(graph, source):
@@ -91,7 +117,7 @@ def single_push(graph, node, reserve, residue, alpha, *, source=None):
 def forward_push_loop(graph, reserve, residue, alpha, r_max, *,
                       can_push=None, source=None, seeds=None,
                       method="frontier", max_pushes=None,
-                      trace=None):
+                      backend=None, trace=None):
     """Push until no eligible node satisfies the push condition.
 
     Parameters
@@ -113,7 +139,13 @@ def forward_push_loop(graph, reserve, residue, alpha, r_max, *,
         largest residue-to-threshold ratio -- fewest pushes, most
         per-push overhead).
     max_pushes:
-        Safety budget; exceeding it raises :class:`ConvergenceError`.
+        Safety budget; exceeding it raises :class:`ConvergenceError` at a
+        round/push boundary (see the module docstring for the state
+        contract).
+    backend:
+        Frontier-kernel backend: ``"numpy"``, ``"numba"``, ``"auto"``, or
+        ``None`` to consult ``REPRO_PUSH_BACKEND`` (default ``auto``).
+        Ignored by the queue/priority schedulers.
     trace:
         Optional :class:`repro.obs.QueryTrace`; the run's counters are
         flushed into it once, after the loop terminates (never from
@@ -123,8 +155,10 @@ def forward_push_loop(graph, reserve, residue, alpha, r_max, *,
     """
     _check_common(graph, alpha, r_max, source)
     if method == "frontier":
-        stats = _frontier_loop(graph, reserve, residue, alpha, r_max,
-                               can_push, source, max_pushes)
+        loop = kernels.FRONTIER_BACKENDS[kernels.resolve_backend(backend)]
+        stats = loop(graph, reserve, residue, alpha, r_max,
+                     can_push=can_push, source=source,
+                     max_pushes=max_pushes)
     elif method == "queue":
         stats = _queue_loop(graph, reserve, residue, alpha, r_max,
                             can_push, source, seeds, max_pushes)
@@ -135,7 +169,9 @@ def forward_push_loop(graph, reserve, residue, alpha, r_max, *,
         raise ParameterError(f"unknown push method {method!r}")
     if trace is not None:
         trace.add_counters(pushes=stats.pushes, push_rounds=stats.rounds,
-                           frontier_peak=stats.max_frontier)
+                           frontier_peak=stats.max_frontier,
+                           sparse_rounds=stats.sparse_rounds,
+                           dense_rounds=stats.dense_rounds)
     return stats
 
 
@@ -158,51 +194,6 @@ def _push_dangling(graph, node, r, reserve, residue, alpha, source):
         residue[source] += (1.0 - alpha) * r
 
 
-def _frontier_loop(graph, reserve, residue, alpha, r_max, can_push, source,
-                   max_pushes):
-    indptr, indices = graph.indptr, graph.indices
-    degrees = graph.out_degrees
-    thresholds = push_thresholds(graph, r_max)
-    stats = PushStats()
-    restart = graph.dangling == "restart"
-    while True:
-        eligible = residue >= thresholds
-        if can_push is not None:
-            eligible &= can_push
-        active = np.flatnonzero(eligible)
-        if active.size == 0:
-            return stats
-        stats.rounds += 1
-        stats.pushes += int(active.size)
-        if active.size > stats.max_frontier:
-            stats.max_frontier = int(active.size)
-        if max_pushes is not None and stats.pushes > max_pushes:
-            raise ConvergenceError(
-                f"forward push exceeded budget of {max_pushes} pushes"
-            )
-        pushed = residue[active].copy()
-        residue[active] = 0.0
-        deg_active = degrees[active]
-        dangling = deg_active == 0
-        spread_nodes = active[~dangling]
-        spread_mass = pushed[~dangling]
-        reserve[spread_nodes] += alpha * spread_mass
-        if dangling.any():
-            dang_nodes = active[dangling]
-            dang_mass = pushed[dangling]
-            if restart:
-                reserve[dang_nodes] += alpha * dang_mass
-                residue[source] += (1.0 - alpha) * float(dang_mass.sum())
-            else:
-                reserve[dang_nodes] += dang_mass
-        if spread_nodes.size:
-            counts = degrees[spread_nodes]
-            positions = expand_ranges(indptr[spread_nodes], counts)
-            targets = indices[positions]
-            weights = np.repeat((1.0 - alpha) * spread_mass / counts, counts)
-            residue += np.bincount(targets, weights=weights, minlength=graph.n)
-
-
 def _priority_loop(graph, reserve, residue, alpha, r_max, can_push, source,
                    max_pushes):
     """Gauss-Southwell scheduling: largest residue/threshold ratio first.
@@ -222,10 +213,11 @@ def _priority_loop(graph, reserve, residue, alpha, r_max, can_push, source,
         return can_push is None or can_push[v]
 
     heap = []
-    initial = residue >= thresholds
+    candidates = np.flatnonzero(residue)
+    initial = candidates[residue[candidates] >= thresholds[candidates]]
     if can_push is not None:
-        initial &= can_push
-    for v in np.flatnonzero(initial):
+        initial = initial[can_push[initial]]
+    for v in initial:
         heapq.heappush(heap, (-residue[v] / thresholds[v], int(v)))
 
     while heap:
@@ -233,11 +225,12 @@ def _priority_loop(graph, reserve, residue, alpha, r_max, can_push, source,
         r = residue[t]
         if r < thresholds[t]:
             continue  # stale entry (already pushed since it was queued)
-        stats.pushes += 1
-        if max_pushes is not None and stats.pushes > max_pushes:
+        if max_pushes is not None and stats.pushes >= max_pushes:
             raise ConvergenceError(
                 f"forward push exceeded budget of {max_pushes} pushes"
             )
+        stats.pushes += 1
+        stats.sparse_rounds += 1
         residue[t] = 0.0
         degree = degrees[t]
         if degree == 0:
@@ -272,67 +265,78 @@ def _queue_loop(graph, reserve, residue, alpha, r_max, can_push, source,
                 seeds, max_pushes):
     indptr, indices = graph.indptr, graph.indices
     degrees = graph.out_degrees
-    thresholds = push_thresholds(graph, r_max)
+    cache = kernels.get_push_cache(graph)
+    thresholds = cache.thresholds(r_max)
     stats = PushStats()
     restart = graph.dangling == "restart"
-    in_queue = np.zeros(graph.n, dtype=bool)
+    # The membership marker is leased per call (not shared): it is
+    # mutable scratch, and concurrent queries each need their own.
+    in_queue = cache.lease_marker()
     queue = deque()
 
     def allowed(v):
         return can_push is None or can_push[v]
 
-    if seeds is None:
-        eligible = residue >= thresholds
-        if can_push is not None:
-            eligible &= can_push
-        seeds = np.flatnonzero(eligible)
-    for v in np.asarray(seeds, dtype=np.int64):
-        v = int(v)
-        if allowed(v) and not in_queue[v]:
-            queue.append(v)
-            in_queue[v] = True
+    try:
+        if seeds is None:
+            candidates = np.flatnonzero(residue)
+            seeds = candidates[
+                residue[candidates] >= thresholds[candidates]]
+        for v in np.asarray(seeds, dtype=np.int64):
+            v = int(v)
+            if allowed(v) and not in_queue[v]:
+                queue.append(v)
+                in_queue[v] = True
 
-    while queue:
-        t = queue.popleft()
-        in_queue[t] = False
-        r = residue[t]
-        if r < thresholds[t]:
-            continue
-        stats.pushes += 1
-        if max_pushes is not None and stats.pushes > max_pushes:
-            raise ConvergenceError(
-                f"forward push exceeded budget of {max_pushes} pushes"
-            )
-        residue[t] = 0.0
-        degree = degrees[t]
-        if degree == 0:
-            if restart:
-                reserve[t] += alpha * r
-                residue[source] += (1.0 - alpha) * r
-                s = int(source)
-                if (residue[s] >= thresholds[s] and allowed(s)
-                        and not in_queue[s]):
-                    queue.append(s)
-                    in_queue[s] = True
-            else:
-                reserve[t] += r
-            continue
-        reserve[t] += alpha * r
-        nbrs = indices[indptr[t]: indptr[t] + degree]
-        # unique+counts both scales the share by parallel-edge
-        # multiplicity (fancy-index += drops duplicates) and dedupes the
-        # worklist: with raw nbrs a neighbour behind k parallel edges
-        # was appended k times because in_queue was only set after the
-        # loop.
-        targets, counts = np.unique(nbrs, return_counts=True)
-        residue[targets] += counts * ((1.0 - alpha) * r / degree)
-        hot = targets[(residue[targets] >= thresholds[targets])
-                      & ~in_queue[targets]]
-        if can_push is not None:
-            hot = hot[can_push[hot]]
-        for u in hot.tolist():
-            queue.append(u)
-        in_queue[hot] = True
-    stats.rounds = 1
-    stats.max_frontier = 1 if stats.pushes else 0
-    return stats
+        while queue:
+            t = queue.popleft()
+            in_queue[t] = False
+            r = residue[t]
+            if r < thresholds[t]:
+                continue
+            if max_pushes is not None and stats.pushes >= max_pushes:
+                raise ConvergenceError(
+                    f"forward push exceeded budget of {max_pushes} pushes"
+                )
+            stats.pushes += 1
+            stats.sparse_rounds += 1
+            residue[t] = 0.0
+            degree = degrees[t]
+            if degree == 0:
+                if restart:
+                    reserve[t] += alpha * r
+                    residue[source] += (1.0 - alpha) * r
+                    s = int(source)
+                    if (residue[s] >= thresholds[s] and allowed(s)
+                            and not in_queue[s]):
+                        queue.append(s)
+                        in_queue[s] = True
+                else:
+                    reserve[t] += r
+                continue
+            reserve[t] += alpha * r
+            nbrs = indices[indptr[t]: indptr[t] + degree]
+            # unique+counts both scales the share by parallel-edge
+            # multiplicity (fancy-index += drops duplicates) and dedupes
+            # the worklist: with raw nbrs a neighbour behind k parallel
+            # edges was appended k times because in_queue was only set
+            # after the loop.
+            targets, counts = np.unique(nbrs, return_counts=True)
+            residue[targets] += counts * ((1.0 - alpha) * r / degree)
+            hot = targets[(residue[targets] >= thresholds[targets])
+                          & ~in_queue[targets]]
+            if can_push is not None:
+                hot = hot[can_push[hot]]
+            for u in hot.tolist():
+                queue.append(u)
+            in_queue[hot] = True
+        stats.rounds = 1
+        stats.max_frontier = 1 if stats.pushes else 0
+        return stats
+    finally:
+        # Clear only the entries still marked before returning the
+        # buffer to the pool (cheaper than a full wipe, and required
+        # when the budget raise leaves marks behind).
+        if queue:
+            in_queue[np.fromiter(queue, dtype=np.int64)] = False
+        cache.release_marker(in_queue)

@@ -1,0 +1,660 @@
+"""Output-sensitive forward-push kernels (the PowerPush-style core).
+
+The seed frontier scheduler paid two dense costs on every round: an
+``n``-length eligibility scan and a fresh ``bincount(minlength=n)``
+scatter buffer.  Both are pathological for the local, h-hop-restricted
+workload ResAcc runs -- a handful of frontier nodes inside ``V_h(s)``
+touching a few hundred edges per round.  This module replaces them with
+an output-sensitive loop that mirrors the sparse/dense switching of
+PowerPush ("Unifying the Global and Local Approaches"):
+
+* **Candidate tracking.**  A node can become eligible only by receiving
+  residue, so the kernel keeps the *dirty set* of nodes that received
+  mass since their last eligibility check.  A round checks exactly that
+  set; a node dropped as ineligible re-enters only when a later push
+  scatters onto it.  An empty candidate set therefore proves no eligible
+  node remains -- the same fixpoint condition as a full scan.
+* **Density switching.**  Each round classifies itself by its frontier
+  edge count ``E_f = sum(out_degree(frontier))``:
+
+  - ``E_f < n / SPARSE_NODE_DIV`` -- *sparse* round: gather the
+    frontier's CSR slices, scatter with ``np.add.at``, and sort-dedupe
+    the touched targets into the next candidate set.
+  - ``E_f >= m / MATVEC_EDGE_DIV`` -- *matvec* round: the frontier
+    covers most of the graph, so one cached transpose SpMV
+    (``residue += A^T @ share``) beats per-edge gathers; the next round
+    rescans densely.
+  - otherwise -- *scan* round: gather/scatter like the sparse round but
+    skip the dedupe (a full eligibility scan is cheaper than sorting
+    that many targets).
+
+* **Frontier-stability reuse.**  h-HopFWD frontiers repeat identically
+  for many consecutive rounds (every node of ``V_h`` stays above the
+  tiny ``r_max_hop`` threshold while its residue decays geometrically).
+  When a round's frontier equals the previous one, the gathered CSR
+  positions, targets and deduped target list are reused verbatim.
+* **Reusable scratch.**  The matvec share vector and the queue
+  scheduler's membership marker are leased from a per-snapshot pool
+  instead of being allocated per call.
+
+Per-snapshot state (thresholds, the transpose operator, scratch
+buffers) lives in a :class:`SnapshotPushCache` hung off the graph
+object and explicitly released by the serving engines inside their
+write gates, mirroring the PR 3 walk pools.
+
+Backends
+--------
+``REPRO_PUSH_BACKEND`` selects the frontier implementation:
+
+* ``numpy`` -- the vectorized loop above; the reference implementation.
+* ``numba`` -- a fused JIT loop over the same Jacobi rounds
+  (:mod:`repro.push._numba_backend`); requires numba.
+* ``auto`` (default) -- ``numba`` when importable, else ``numpy``.
+
+Both backends make identical push decisions round for round, so their
+fixpoints differ only by floating-point summation order; the test suite
+gates them at 1e-12 with exact unit-mass preservation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ParameterError
+
+try:  # pragma: no cover - exercised only when scipy lacks the private API
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+
+    _csr_matvec = _scipy_sparsetools.csr_matvec
+except Exception:  # pragma: no cover
+    _csr_matvec = None
+
+#: Environment variable selecting the frontier backend.
+BACKEND_ENV = "REPRO_PUSH_BACKEND"
+
+#: Recognized backend names (``auto`` resolves at call time).
+BACKENDS = ("auto", "numpy", "numba")
+
+#: A round is *sparse* (candidate-tracked, sort-deduped) when its
+#: frontier edge count is below ``n / SPARSE_NODE_DIV``.
+SPARSE_NODE_DIV = 16
+
+#: A round uses the cached transpose SpMV when its frontier edge count
+#: reaches ``m / MATVEC_EDGE_DIV``.
+MATVEC_EDGE_DIV = 8
+
+#: Bound on distinct ``r_max`` thresholds cached per snapshot (OAOP
+#: replays call with a fresh ``r_max * rho`` every round).
+_THRESHOLD_CACHE_SIZE = 8
+
+_attach_lock = threading.Lock()
+
+# The numba probe is resolved once per process, under a lock.  A failed
+# import is not cached by Python, so probing on every call would re-run
+# the import -- and concurrent probing threads can observe each other's
+# partially-initialized module, briefly making numba look importable on
+# a machine without it (a real race: the concurrent-serving tests
+# caught ``auto`` resolving to numba and then crashing on dispatch).
+_numba_lock = threading.Lock()
+_numba_module = None
+_numba_checked = False
+
+
+def _numba_backend_module():
+    """The imported numba backend module, or ``None`` (cached probe)."""
+    global _numba_module, _numba_checked
+    if not _numba_checked:
+        with _numba_lock:
+            if not _numba_checked:
+                try:
+                    from repro.push import _numba_backend as mod
+                except Exception:
+                    mod = None
+                _numba_module = mod
+                _numba_checked = True  # after the module slot is set
+    return _numba_module
+
+
+def numba_available():
+    """Whether the optional numba backend can be imported."""
+    return _numba_backend_module() is not None
+
+
+def resolve_backend(backend=None):
+    """Resolve a backend request to ``"numpy"`` or ``"numba"``.
+
+    ``backend=None`` consults :data:`BACKEND_ENV` (default ``auto``).
+    ``auto`` prefers numba when it is importable and falls back to
+    numpy; asking for ``numba`` explicitly when it is absent raises
+    :class:`~repro.errors.ParameterError`.
+    """
+    name = backend if backend is not None \
+        else os.environ.get(BACKEND_ENV, "auto")
+    name = str(name).strip().lower() or "auto"
+    if name not in BACKENDS:
+        raise ParameterError(
+            f"unknown push backend {name!r}; expected one of {BACKENDS}"
+        )
+    if name == "auto":
+        return "numba" if numba_available() else "numpy"
+    if name == "numba" and not numba_available():
+        raise ParameterError(
+            "push backend 'numba' requested but numba is not installed; "
+            f"install numba or set {BACKEND_ENV}=numpy"
+        )
+    return name
+
+
+class SnapshotPushCache:
+    """Push-kernel state shared by every query on one graph snapshot.
+
+    Holds the per-``r_max`` threshold vectors, the transpose operator
+    used by matvec rounds, and pools of reusable scratch buffers.  All
+    entries are immutable or leased, so concurrent queries on the same
+    snapshot (the ``ConcurrentQueryEngine`` read path) can share one
+    cache: thresholds and the transpose are created under a lock and
+    marked read-only; scratch buffers are checked out exclusively via
+    :meth:`lease_share` / :meth:`lease_marker`.
+    """
+
+    __slots__ = ("_graph", "_lock", "_thresholds", "_transpose",
+                 "_share_pool", "_marker_pool")
+
+    def __init__(self, graph):
+        self._graph = graph
+        self._lock = threading.Lock()
+        self._thresholds = OrderedDict()
+        self._transpose = None
+        self._share_pool = []
+        self._marker_pool = []
+
+    def thresholds(self, r_max):
+        """Read-only per-node threshold vector for one ``r_max``.
+
+        Cached per distinct ``r_max`` with a small LRU bound, replacing
+        the per-call recompute the seed kernels did (h-HopFWD and OMFWD
+        each recomputed the same vector on every query).
+        """
+        key = float(r_max)
+        with self._lock:
+            vec = self._thresholds.get(key)
+            if vec is not None:
+                self._thresholds.move_to_end(key)
+                return vec
+        degrees = self._graph.out_degrees
+        vec = key * np.where(degrees > 0, degrees, 1).astype(np.float64)
+        vec.flags.writeable = False
+        with self._lock:
+            self._thresholds[key] = vec
+            self._thresholds.move_to_end(key)
+            while len(self._thresholds) > _THRESHOLD_CACHE_SIZE:
+                self._thresholds.popitem(last=False)
+        return vec
+
+    def transpose_operator(self):
+        """CSR arrays ``(indptr, indices, data)`` of the transposed
+        adjacency, for ``residue += A^T @ share`` matvec rounds."""
+        with self._lock:
+            if self._transpose is None:
+                graph = self._graph
+                rev_indptr, rev_indices = graph.reverse_adjacency()
+                indptr = np.ascontiguousarray(rev_indptr)
+                indices = np.ascontiguousarray(rev_indices)
+                data = np.ones(indices.shape[0], dtype=np.float64)
+                for arr in (indptr, indices, data):
+                    arr.flags.writeable = False
+                self._transpose = (indptr, indices, data)
+            return self._transpose
+
+    def lease_share(self):
+        """Borrow an all-zeros float64 scratch vector of length ``n``.
+
+        The lessee must return it zeroed via :meth:`release_share`
+        (cheapest done by clearing only the entries it touched).
+        """
+        with self._lock:
+            if self._share_pool:
+                return self._share_pool.pop()
+        return np.zeros(self._graph.n, dtype=np.float64)
+
+    def release_share(self, buf):
+        """Return a share buffer to the pool (must already be zeroed)."""
+        with self._lock:
+            self._share_pool.append(buf)
+
+    def lease_marker(self):
+        """Borrow an all-false membership marker of length ``n``."""
+        with self._lock:
+            if self._marker_pool:
+                return self._marker_pool.pop()
+        return np.zeros(self._graph.n, dtype=bool)
+
+    def release_marker(self, buf):
+        """Return a marker buffer to the pool (must already be cleared)."""
+        with self._lock:
+            self._marker_pool.append(buf)
+
+    def release(self):
+        """Drop every cached array (write-gate retirement)."""
+        with self._lock:
+            self._thresholds.clear()
+            self._transpose = None
+            self._share_pool.clear()
+            self._marker_pool.clear()
+
+
+def get_push_cache(graph):
+    """The :class:`SnapshotPushCache` of ``graph``, created on first use."""
+    cache = getattr(graph, "_push_cache", None)
+    if cache is None:
+        with _attach_lock:
+            cache = getattr(graph, "_push_cache", None)
+            if cache is None:
+                cache = SnapshotPushCache(graph)
+                graph._push_cache = cache
+    return cache
+
+
+def release_push_cache(graph):
+    """Release a snapshot's push cache if one was ever attached.
+
+    Serving engines call this inside their write gates when a mutation
+    retires the snapshot, alongside the walk-pool retirement.
+    """
+    cache = getattr(graph, "_push_cache", None) if graph is not None else None
+    if cache is not None:
+        cache.release()
+
+
+def _sort_dedupe(targets):
+    """Unique values of ``targets`` (sorted).
+
+    Hand-rolled because ``np.unique`` costs 5x as much on the few-hundred
+    element arrays sparse rounds produce (wrapper + return_counts
+    machinery dominate at that size).
+    """
+    flat = np.sort(targets)
+    keep = np.empty(flat.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(flat[1:], flat[:-1], out=keep[1:])
+    return flat[keep]
+
+
+def _frontier_positions(indptr, nodes, counts, total):
+    """Flat CSR positions of every out-edge of ``nodes``.
+
+    Equivalent to ``expand_ranges(indptr[nodes], counts)`` but inlined
+    to a single cumsum over a step vector -- the generic helper's extra
+    passes cost ~40% of a whole sparse round at typical frontier sizes.
+    """
+    starts = indptr[nodes]
+    steps = np.ones(total, dtype=np.int64)
+    steps[0] = starts[0]
+    if counts.size > 1:
+        bounds = np.cumsum(counts[:-1])
+        steps[bounds] = starts[1:] - starts[:-1] - counts[:-1] + 1
+    return np.cumsum(steps)
+
+
+def frontier_loop_numpy(graph, reserve, residue, alpha, r_max, *,
+                        can_push=None, source=None, max_pushes=None,
+                        stats=None, cache=None):
+    """Output-sensitive frontier (Jacobi) push loop, numpy backend.
+
+    Semantics match the seed frontier scheduler exactly: every round
+    pushes all currently-eligible nodes simultaneously, so the final
+    ``(reserve, residue)`` is the same fixpoint up to floating-point
+    summation order.  ``stats`` (a :class:`~repro.push.forward.PushStats`)
+    additionally receives ``sparse_rounds`` / ``dense_rounds`` counts.
+
+    A :class:`~repro.errors.ConvergenceError` from ``max_pushes`` is
+    raised at a round boundary: all previous rounds are fully applied,
+    the current round not at all, so the state still satisfies the push
+    invariant and ``sum(reserve) + sum(residue) == 1``.
+    """
+    from repro.push.forward import PushStats
+
+    if stats is None:
+        stats = PushStats()
+    if cache is None:
+        cache = get_push_cache(graph)
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.out_degrees
+    n = graph.n
+    thresholds = cache.thresholds(r_max)
+    spread_scale = 1.0 - alpha
+    restart = graph.dangling == "restart"
+    sparse_cut = max(n // SPARSE_NODE_DIV, 64)
+    matvec_cut = max(int(indptr[-1]) // MATVEC_EDGE_DIV, sparse_cut)
+    at_arrays = None
+    share = None
+    share_dense = False
+    inv_deg = dang_f = degrees_f = None
+
+    # Dirty set: nodes that may have become eligible since last checked.
+    # ``None`` means "unknown" and forces a full scan for the round.
+    cand = np.flatnonzero(residue)
+    if can_push is not None:
+        cand = cand[can_push[cand]]
+
+    # Frontier-stability cache (previous round's gathered slices).
+    prev_active = None
+    c_counts = c_positions = c_targets = c_uniq = c_wbase = None
+
+    try:
+        while True:
+            if cand is None:
+                eligible = residue >= thresholds
+                if can_push is not None:
+                    eligible &= can_push
+                if degrees_f is None:
+                    degrees_f = degrees.astype(np.float64)
+                total = int(degrees_f @ eligible)
+                if total >= matvec_cut:
+                    # Near-full frontier out of a rescan: stay fully
+                    # dense.  Mask arithmetic over all n avoids every
+                    # index gather (flatnonzero, degrees[active],
+                    # residue[active], ...), which at this frontier
+                    # size costs more than the SpMV itself.
+                    nnz = int(np.count_nonzero(eligible))
+                    if max_pushes is not None \
+                            and stats.pushes + nnz > max_pushes:
+                        raise ConvergenceError(
+                            "forward push exceeded budget of "
+                            f"{max_pushes} pushes"
+                        )
+                    stats.rounds += 1
+                    stats.pushes += nnz
+                    if nnz > stats.max_frontier:
+                        stats.max_frontier = nnz
+                    stats.dense_rounds += 1
+                    if inv_deg is None:
+                        safe = np.where(degrees > 0, degrees,
+                                        1).astype(np.float64)
+                        inv_deg = spread_scale / safe
+                        if (degrees == 0).any():
+                            dang_f = (degrees == 0).astype(np.float64)
+                            inv_deg[degrees == 0] = 0.0
+                    if at_arrays is None:
+                        at_arrays = cache.transpose_operator()
+                    if share is None:
+                        share = cache.lease_share()
+                    # share <- pushed residues; ``residue -= share``
+                    # then zeroes the eligible entries exactly (x - x)
+                    # and leaves the rest bit-identical (x - 0).
+                    np.multiply(residue, eligible, out=share)
+                    residue -= share
+                    reserve += alpha * share
+                    if dang_f is not None:
+                        dang_pushed = share * dang_f
+                        dsum = float(dang_pushed.sum())
+                        if dsum != 0.0:
+                            if restart:
+                                residue[source] += spread_scale * dsum
+                            else:
+                                reserve += spread_scale * dang_pushed
+                    np.multiply(share, inv_deg, out=share)
+                    share_dense = True
+                    at_indptr, at_indices, at_data = at_arrays
+                    if _csr_matvec is not None:
+                        _csr_matvec(n, n, at_indptr, at_indices,
+                                    at_data, share, residue)
+                    else:  # pragma: no cover - scipy w/o private API
+                        from scipy.sparse import csr_matrix
+
+                        mat = csr_matrix(
+                            (at_data, at_indices, at_indptr),
+                            shape=(n, n))
+                        residue += mat @ share
+                    prev_active = None
+                    continue
+                active = np.flatnonzero(eligible)
+            elif cand.size:
+                active = cand[residue[cand] >= thresholds[cand]]
+            else:
+                active = cand
+            if active.size == 0:
+                return stats
+            if max_pushes is not None \
+                    and stats.pushes + active.size > max_pushes:
+                raise ConvergenceError(
+                    f"forward push exceeded budget of {max_pushes} pushes"
+                )
+            stats.rounds += 1
+            stats.pushes += int(active.size)
+            if active.size > stats.max_frontier:
+                stats.max_frontier = int(active.size)
+
+            stable = (prev_active is not None
+                      and active.size == prev_active.size
+                      and np.array_equal(active, prev_active))
+            counts = c_counts if stable else degrees[active]
+            pushed = residue[active]
+            residue[active] = 0.0
+
+            dangling = counts == 0
+            dang_nodes = None
+            if dangling.any():
+                spread_nodes = active[~dangling]
+                spread_mass = pushed[~dangling]
+                dang_nodes = active[dangling]
+                dang_mass = pushed[dangling]
+                reserve[spread_nodes] += alpha * spread_mass
+                if restart:
+                    reserve[dang_nodes] += alpha * dang_mass
+                    residue[source] += spread_scale * float(dang_mass.sum())
+                else:
+                    reserve[dang_nodes] += dang_mass
+                sp_counts = counts[~dangling]
+                stable = False  # cached slices describe spread nodes only
+            else:
+                spread_nodes = active
+                spread_mass = pushed
+                reserve[spread_nodes] += alpha * spread_mass
+                sp_counts = counts
+
+            total = int(sp_counts.sum()) if spread_nodes.size else 0
+            if total == 0:
+                # Purely-dangling round: only the source (restart) can
+                # have received new residue.
+                stats.sparse_rounds += 1
+                if restart and dang_nodes is not None and (
+                        can_push is None or can_push[source]):
+                    cand = np.asarray([source], dtype=np.int64)
+                else:
+                    cand = np.empty(0, dtype=np.int64)
+                prev_active = None
+                continue
+
+            if total >= matvec_cut:
+                # Near-full frontier: one transpose SpMV beats per-edge
+                # gathers; accumulate straight into ``residue``.
+                stats.dense_rounds += 1
+                if at_arrays is None:
+                    at_arrays = cache.transpose_operator()
+                if share is None:
+                    share = cache.lease_share()
+                elif share_dense:
+                    share.fill(0.0)  # dense rounds overwrite all of it
+                    share_dense = False
+                share[spread_nodes] = \
+                    spread_scale * spread_mass / sp_counts
+                at_indptr, at_indices, at_data = at_arrays
+                if _csr_matvec is not None:
+                    _csr_matvec(n, n, at_indptr, at_indices, at_data,
+                                share, residue)
+                else:  # pragma: no cover - scipy without the private API
+                    from scipy.sparse import csr_matrix
+
+                    mat = csr_matrix((at_data, at_indices, at_indptr),
+                                     shape=(n, n))
+                    residue += mat @ share
+                share[spread_nodes] = 0.0
+                cand = None
+                prev_active = None
+                continue
+
+            if stable:
+                positions, targets = c_positions, c_targets
+                uniq = c_uniq
+                weights = np.repeat(spread_mass * c_wbase, sp_counts)
+            else:
+                positions = _frontier_positions(indptr, spread_nodes,
+                                                sp_counts, total)
+                targets = indices[positions]
+                c_wbase = spread_scale / sp_counts
+                weights = np.repeat(spread_mass * c_wbase, sp_counts)
+                uniq = None
+                prev_active = active
+                c_counts, c_positions, c_targets = \
+                    counts, positions, targets
+                c_uniq = None
+            # np.add.at honours duplicate targets (parallel edges), unlike
+            # fancy-index ``+=`` which silently drops them.
+            np.add.at(residue, targets, weights)
+
+            if total >= sparse_cut:
+                # Mid-density round: a dense eligibility scan is cheaper
+                # than sort-deduping this many targets.
+                stats.dense_rounds += 1
+                cand = None
+                continue
+            stats.sparse_rounds += 1
+            if uniq is None:
+                uniq = _sort_dedupe(targets)
+                if can_push is not None:
+                    uniq = uniq[can_push[uniq]]
+                c_uniq = uniq
+            cand = uniq
+            if restart and dang_nodes is not None and (
+                    can_push is None or can_push[source]):
+                # Re-check the source next round -- unless it is already
+                # a scatter target (uniq is sorted; duplicates in the
+                # candidate list would double-push).
+                pos = int(np.searchsorted(uniq, source))
+                if pos >= uniq.size or uniq[pos] != source:
+                    cand = np.append(cand, source)
+    finally:
+        if share is not None:
+            if share_dense:
+                share.fill(0.0)
+            cache.release_share(share)
+
+
+def frontier_loop_numba(graph, reserve, residue, alpha, r_max, *,
+                        can_push=None, source=None, max_pushes=None,
+                        stats=None, cache=None):
+    """Fused-JIT frontier loop (numba backend).
+
+    Runs the same Jacobi rounds as :func:`frontier_loop_numpy` -- each
+    round snapshots the eligible residues before scattering -- so both
+    backends make identical push decisions and agree on all counters.
+    """
+    from repro.push.forward import PushStats
+
+    _numba_backend = _numba_backend_module()
+    if _numba_backend is None:
+        raise ParameterError(
+            "push backend 'numba' requested but numba is not installed; "
+            f"install numba or set {BACKEND_ENV}=numpy"
+        )
+    if stats is None:
+        stats = PushStats()
+    if cache is None:
+        cache = get_push_cache(graph)
+    thresholds = cache.thresholds(r_max)
+    cand = np.flatnonzero(residue)
+    if can_push is not None:
+        cand = cand[can_push[cand]]
+    mask = can_push if can_push is not None \
+        else np.empty(0, dtype=bool)
+    n = graph.n
+    sparse_cut = max(n // SPARSE_NODE_DIV, 64)
+    budget = -1 if max_pushes is None else int(max_pushes)
+    (status, pushes, rounds, max_frontier,
+     sparse_rounds, dense_rounds) = _numba_backend.frontier_loop(
+        graph.indptr, graph.indices, graph.out_degrees, thresholds,
+        reserve, residue, float(alpha),
+        can_push is not None, mask,
+        graph.dangling == "restart",
+        -1 if source is None else int(source),
+        budget, cand.astype(np.int64), sparse_cut,
+    )
+    stats.pushes += int(pushes)
+    stats.rounds += int(rounds)
+    stats.max_frontier = max(stats.max_frontier, int(max_frontier))
+    stats.sparse_rounds += int(sparse_rounds)
+    stats.dense_rounds += int(dense_rounds)
+    if status != 0:
+        raise ConvergenceError(
+            f"forward push exceeded budget of {max_pushes} pushes"
+        )
+    return stats
+
+
+def dense_reference_loop(graph, reserve, residue, alpha, r_max, *,
+                         can_push=None, source=None, max_pushes=None,
+                         stats=None):
+    """The seed frontier scheduler, kept verbatim as a benchmark baseline.
+
+    Every round scans the full residue array for eligibility and
+    scatters through ``bincount(minlength=n)``; ``repro-bench push``
+    measures the output-sensitive kernels against this loop.
+    """
+    from repro.graph.hop import expand_ranges
+    from repro.push.forward import PushStats
+
+    if stats is None:
+        stats = PushStats()
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.out_degrees
+    thresholds = r_max * np.where(degrees > 0, degrees, 1).astype(np.float64)
+    restart = graph.dangling == "restart"
+    while True:
+        eligible = residue >= thresholds
+        if can_push is not None:
+            eligible &= can_push
+        active = np.flatnonzero(eligible)
+        if active.size == 0:
+            return stats
+        stats.rounds += 1
+        stats.pushes += int(active.size)
+        if active.size > stats.max_frontier:
+            stats.max_frontier = int(active.size)
+        if max_pushes is not None and stats.pushes > max_pushes:
+            raise ConvergenceError(
+                f"forward push exceeded budget of {max_pushes} pushes"
+            )
+        pushed = residue[active].copy()
+        residue[active] = 0.0
+        deg_active = degrees[active]
+        dangling = deg_active == 0
+        spread_nodes = active[~dangling]
+        spread_mass = pushed[~dangling]
+        reserve[spread_nodes] += alpha * spread_mass
+        if dangling.any():
+            dang_nodes = active[dangling]
+            dang_mass = pushed[dangling]
+            if restart:
+                reserve[dang_nodes] += alpha * dang_mass
+                residue[source] += (1.0 - alpha) * float(dang_mass.sum())
+            else:
+                reserve[dang_nodes] += dang_mass
+        if spread_nodes.size:
+            counts = degrees[spread_nodes]
+            positions = expand_ranges(indptr[spread_nodes], counts)
+            targets = indices[positions]
+            weights = np.repeat((1.0 - alpha) * spread_mass / counts, counts)
+            residue += np.bincount(targets, weights=weights,
+                                   minlength=graph.n)
+
+
+#: Dispatch table used by :func:`repro.push.forward.forward_push_loop`.
+FRONTIER_BACKENDS = {
+    "numpy": frontier_loop_numpy,
+    "numba": frontier_loop_numba,
+}

@@ -241,10 +241,15 @@ class QueryEngine:
         return removed
 
     def _note_update(self):
+        from repro.push.kernels import release_push_cache
+
         self.stats.updates += 1
         if self._cache:
             self.stats.invalidations += len(self._cache)
             self._cache.clear()
+        # The push cache (thresholds, transpose, scratch) describes the
+        # old snapshot; release it with the snapshot.
+        release_push_cache(self._graph)
         self._graph = None  # rebuilt lazily on next query
         # The walk pool shares the old snapshot's CSR arrays; retire it
         # so the next query re-shares the rebuilt graph.

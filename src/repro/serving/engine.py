@@ -273,10 +273,16 @@ class ConcurrentQueryEngine:
         return cleared
 
     def _mutate(self, mutation):
+        from repro.push.kernels import release_push_cache
+
         with self._gate.write() as gate:
             changed = mutation(self._builder)
             if changed:
                 gate.advance()
+                # Release the old snapshot's push cache inside the write
+                # gate: quiescence guarantees no query is mid-push on its
+                # thresholds or scratch buffers.
+                release_push_cache(self._graph)
                 self._graph = self._builder.build()
                 cleared = self._cache.invalidate()
                 # Retire the walk pool inside the write gate: it shares

@@ -5,6 +5,16 @@ edge weights: a push at ``t`` gives out-neighbour ``u``
 ``(1 - alpha) * r * w(t,u) / W(t)``.  The invariant
 ``pi_w(s, t) = reserve(t) + sum_v residue(v) pi_w(v, t)`` holds for the
 *weighted* RWR vector.
+
+The loop is output-sensitive like the unweighted frontier kernel
+(:mod:`repro.push.kernels`): small frontiers run candidate-tracked
+rounds that touch only the dirty set and scatter with ``np.add.at``;
+larger frontiers fall back to a dense eligibility scan.  There is no
+matvec regime -- the weighted transpose operator would have to bake in
+per-edge weights, and the weighted paths are not on the serving hot
+loop.  Thresholds come from the snapshot push cache (the push condition
+is structural -- ``residue / d_out >= r_max`` -- so weighted and
+unweighted kernels share the same vectors).
 """
 
 from __future__ import annotations
@@ -12,8 +22,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConvergenceError, ParameterError
-from repro.graph.hop import expand_ranges
 from repro.push.forward import PushStats, push_thresholds
+from repro.push.kernels import (
+    SPARSE_NODE_DIV,
+    _frontier_positions,
+    _sort_dedupe,
+)
 
 
 def weighted_init_state(graph, source):
@@ -31,6 +45,10 @@ def weighted_forward_push(graph, reserve, residue, alpha, r_max, *,
     Uses the same structural push condition as the unweighted kernel
     (``residue / d_out >= r_max``); a node whose total outgoing weight is
     zero absorbs its whole residue (the walk dies there).
+
+    A ``max_pushes`` overrun raises :class:`ConvergenceError` at a round
+    boundary: previously-applied rounds are complete, so the state still
+    satisfies the weighted invariant.
     """
     if not 0.0 < alpha < 1.0:
         raise ParameterError(f"alpha must be in (0, 1), got {alpha}")
@@ -41,20 +59,33 @@ def weighted_forward_push(graph, reserve, residue, alpha, r_max, *,
     weight_sums = graph.weight_sums
     thresholds = push_thresholds(graph, r_max)
     stats = PushStats()
+    spread_scale = 1.0 - alpha
+    sparse_cut = max(graph.n // SPARSE_NODE_DIV, 64)
+
+    cand = np.flatnonzero(residue)
+    if can_push is not None:
+        cand = cand[can_push[cand]]
     while True:
-        eligible = residue >= thresholds
-        if can_push is not None:
-            eligible &= can_push
-        active = np.flatnonzero(eligible)
+        if cand is None:
+            eligible = residue >= thresholds
+            if can_push is not None:
+                eligible &= can_push
+            active = np.flatnonzero(eligible)
+        elif cand.size:
+            active = cand[residue[cand] >= thresholds[cand]]
+        else:
+            active = cand
         if active.size == 0:
             return stats
-        stats.rounds += 1
-        stats.pushes += int(active.size)
-        if max_pushes is not None and stats.pushes > max_pushes:
+        if max_pushes is not None and stats.pushes + active.size > max_pushes:
             raise ConvergenceError(
                 f"weighted push exceeded budget of {max_pushes} pushes"
             )
-        pushed = residue[active].copy()
+        stats.rounds += 1
+        stats.pushes += int(active.size)
+        if active.size > stats.max_frontier:
+            stats.max_frontier = int(active.size)
+        pushed = residue[active]
         residue[active] = 0.0
         absorbing = weight_sums[active] <= 0.0
         spread_nodes = active[~absorbing]
@@ -62,13 +93,26 @@ def weighted_forward_push(graph, reserve, residue, alpha, r_max, *,
         reserve[spread_nodes] += alpha * spread_mass
         if absorbing.any():
             reserve[active[absorbing]] += pushed[absorbing]
-        if spread_nodes.size:
-            counts = degrees[spread_nodes]
-            positions = expand_ranges(indptr[spread_nodes], counts)
-            targets = indices[positions]
-            per_edge = graph.weights[positions] * np.repeat(
-                (1.0 - alpha) * spread_mass / weight_sums[spread_nodes],
-                counts,
-            )
-            residue += np.bincount(targets, weights=per_edge,
-                                   minlength=graph.n)
+        if spread_nodes.size == 0:
+            stats.sparse_rounds += 1
+            cand = np.empty(0, dtype=np.int64)
+            continue
+        counts = degrees[spread_nodes]
+        total = int(counts.sum())
+        positions = _frontier_positions(indptr, spread_nodes, counts, total)
+        targets = indices[positions]
+        per_edge = graph.weights[positions] * np.repeat(
+            spread_scale * spread_mass / weight_sums[spread_nodes],
+            counts,
+        )
+        # np.add.at honours duplicate targets (parallel edges).
+        np.add.at(residue, targets, per_edge)
+        if total >= sparse_cut:
+            stats.dense_rounds += 1
+            cand = None
+            continue
+        stats.sparse_rounds += 1
+        uniq = _sort_dedupe(targets)
+        if can_push is not None:
+            uniq = uniq[can_push[uniq]]
+        cand = uniq

@@ -1,0 +1,417 @@
+"""Tests for the output-sensitive push kernels (:mod:`repro.push.kernels`).
+
+Covers the PR's contracts:
+
+* every scheduler x backend x dangling-policy combination reaches a
+  valid fixpoint (no eligible node, unit mass preserved) on random
+  graphs that include dangling nodes;
+* the numpy frontier kernel reproduces the seed reference loop's
+  fixpoint to 1e-12 (same Jacobi rounds, summation order aside);
+* the sparse/dense round switch fires on a graph engineered to cross
+  the density threshold;
+* ``max_pushes`` raises at a round boundary with the state still
+  satisfying the invariant;
+* the per-snapshot cache (thresholds LRU, transpose, scratch leases)
+  behaves and is retired by the serving engines' write gates;
+* backend selection (``REPRO_PUSH_BACKEND``) and numba equivalence
+  (the numba tests self-skip when numba is not installed; the CI
+  ``push-kernels`` matrix runs both legs).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ParameterError
+from repro.graph import from_edges, generators
+from repro.obs.trace import QueryTrace
+from repro.push import (
+    dense_reference_loop,
+    forward_push_loop,
+    get_push_cache,
+    init_state,
+    numba_available,
+    push_thresholds,
+    release_push_cache,
+    resolve_backend,
+)
+from repro.push.forward import PushStats
+from repro.push.kernels import (
+    BACKEND_ENV,
+    FRONTIER_BACKENDS,
+    SPARSE_NODE_DIV,
+    _THRESHOLD_CACHE_SIZE,
+)
+
+ALPHA = 0.2
+
+needs_numba = pytest.mark.skipif(not numba_available(),
+                                 reason="numba not installed")
+
+#: numpy always; numba only when importable (CI runs a leg with it).
+BACKENDS = ["numpy",
+            pytest.param("numba", marks=needs_numba)]
+
+
+def random_dangling_graph(seed, dangling):
+    """Random directed graph with guaranteed dangling nodes."""
+    gen = np.random.default_rng(seed)
+    n = int(gen.integers(20, 80))
+    num_edges = int(n * gen.uniform(1.5, 3.5))
+    edges = np.column_stack([
+        gen.integers(0, n, size=num_edges),
+        gen.integers(0, n, size=num_edges),
+    ])
+    sinks = gen.choice(n, size=max(2, n // 8), replace=False)
+    edges = edges[~np.isin(edges[:, 0], sinks)]
+    graph = from_edges(n, edges, dangling=dangling)
+    assert (graph.out_degrees == 0).any()
+    return graph
+
+
+def path_into_hub_graph(dangling="absorb"):
+    """A path feeding a large symmetric star: engineered to cross the
+    frontier density threshold.
+
+    Rounds while mass walks the path have frontier edge count 1 (far
+    below ``sparse_cut = max(n // SPARSE_NODE_DIV, 64)``); the round
+    pushing the hub (and the answering all-leaves round) touch ~300
+    edges, far above it.
+    """
+    hub, leaves = 5, 300
+    edges = [(i, i + 1) for i in range(hub)]
+    for leaf in range(hub + 1, hub + 1 + leaves):
+        edges.append((hub, leaf))
+        edges.append((leaf, hub))
+    return from_edges(hub + 1 + leaves, edges, dangling=dangling)
+
+
+def unit_mass_gap(reserve, residue):
+    """|sum(reserve) + sum(residue) - 1| with exact (fsum) summation."""
+    return abs(math.fsum(reserve.tolist()) + math.fsum(residue.tolist())
+               - 1.0)
+
+
+def no_eligible(graph, residue, r_max, can_push=None):
+    eligible = residue >= push_thresholds(graph, r_max)
+    if can_push is not None:
+        eligible &= can_push
+    return not bool(eligible.any())
+
+
+# ---------------------------------------------------------------------------
+# Property: every scheduler/backend/policy reaches a valid fixpoint
+# ---------------------------------------------------------------------------
+class TestFixpointProperty:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", ["frontier", "queue", "priority"])
+    @pytest.mark.parametrize("dangling", ["absorb", "restart"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_valid_fixpoint(self, method, backend, dangling, seed):
+        graph = random_dangling_graph(seed, dangling)
+        source = seed % graph.n
+        reserve, residue = init_state(graph, source)
+        r_max = 1e-5
+        forward_push_loop(graph, reserve, residue, ALPHA, r_max,
+                          source=source, method=method, backend=backend)
+        assert no_eligible(graph, residue, r_max)
+        assert unit_mass_gap(reserve, residue) < 1e-12
+        assert float(residue.min()) >= 0.0
+        assert float(reserve.min()) >= 0.0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("dangling", ["absorb", "restart"])
+    def test_valid_fixpoint_under_can_push_mask(self, backend, dangling):
+        # The h-HopFWD shape: the source and a random slice are frozen.
+        graph = random_dangling_graph(7, dangling)
+        source = 3
+        can_push = np.ones(graph.n, dtype=bool)
+        can_push[source] = False
+        can_push[:: 4] = False
+        reserve, residue = init_state(graph, source)
+        r_max = 1e-5
+        forward_push_loop(graph, reserve, residue, ALPHA, r_max,
+                          source=source, can_push=can_push, backend=backend)
+        assert no_eligible(graph, residue, r_max, can_push=can_push)
+        assert unit_mass_gap(reserve, residue) < 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: output-sensitive kernels vs. the seed reference loop
+# ---------------------------------------------------------------------------
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("dangling", ["absorb", "restart"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_seed_fixpoint(self, backend, dangling, seed):
+        graph = random_dangling_graph(seed, dangling)
+        source = (seed * 5) % graph.n
+        r_max = 1e-7
+
+        r_ref, i_ref = init_state(graph, source)
+        ref_stats = dense_reference_loop(graph, r_ref, i_ref, ALPHA, r_max,
+                                         source=source)
+
+        r_new, i_new = init_state(graph, source)
+        stats = PushStats()
+        FRONTIER_BACKENDS[backend](graph, r_new, i_new, ALPHA, r_max,
+                                   source=source, stats=stats)
+
+        # Same Jacobi rounds -> same fixpoint up to summation order.
+        np.testing.assert_allclose(r_new, r_ref, rtol=0.0, atol=1e-12)
+        np.testing.assert_allclose(i_new, i_ref, rtol=0.0, atol=1e-12)
+        assert stats.pushes == ref_stats.pushes
+        assert stats.rounds == ref_stats.rounds
+        assert stats.max_frontier == ref_stats.max_frontier
+        assert stats.sparse_rounds + stats.dense_rounds == stats.rounds
+        assert unit_mass_gap(r_new, i_new) < 1e-12
+
+    @needs_numba
+    @pytest.mark.parametrize("dangling", ["absorb", "restart"])
+    def test_numba_matches_numpy_exactly_on_counters(self, dangling):
+        graph = random_dangling_graph(11, dangling)
+        source = 0
+        r_max = 1e-8
+
+        states, stats = {}, {}
+        for backend in ("numpy", "numba"):
+            reserve, residue = init_state(graph, source)
+            st = PushStats()
+            FRONTIER_BACKENDS[backend](graph, reserve, residue, ALPHA,
+                                       r_max, source=source, stats=st)
+            states[backend] = (reserve, residue)
+            stats[backend] = st
+
+        np.testing.assert_allclose(states["numba"][0], states["numpy"][0],
+                                   rtol=0.0, atol=1e-12)
+        np.testing.assert_allclose(states["numba"][1], states["numpy"][1],
+                                   rtol=0.0, atol=1e-12)
+        # Identical push decisions round for round.
+        assert stats["numba"].pushes == stats["numpy"].pushes
+        assert stats["numba"].rounds == stats["numpy"].rounds
+        assert stats["numba"].sparse_rounds == stats["numpy"].sparse_rounds
+        assert stats["numba"].dense_rounds == stats["numpy"].dense_rounds
+        assert unit_mass_gap(*states["numba"]) < 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Regression: the sparse/dense round switch
+# ---------------------------------------------------------------------------
+class TestDensitySwitch:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_round_regimes_cross_threshold(self, backend):
+        graph = path_into_hub_graph()
+        assert max(graph.n // SPARSE_NODE_DIV, 64) < 300  # hub crosses it
+        reserve, residue = init_state(graph, 0)
+        stats = PushStats()
+        FRONTIER_BACKENDS[backend](graph, reserve, residue, ALPHA, 1e-6,
+                                   source=0, stats=stats)
+        # Path rounds classify sparse, hub/leaf rounds dense.
+        assert stats.sparse_rounds > 0
+        assert stats.dense_rounds > 0
+        assert stats.sparse_rounds + stats.dense_rounds == stats.rounds
+        assert unit_mass_gap(reserve, residue) < 1e-12
+
+        # And the fixpoint is still the reference one.
+        r_ref, i_ref = init_state(graph, 0)
+        dense_reference_loop(graph, r_ref, i_ref, ALPHA, 1e-6, source=0)
+        np.testing.assert_allclose(reserve, r_ref, rtol=0.0, atol=1e-12)
+        np.testing.assert_allclose(residue, i_ref, rtol=0.0, atol=1e-12)
+
+    def test_trace_reports_round_regimes(self):
+        graph = path_into_hub_graph()
+        reserve, residue = init_state(graph, 0)
+        trace = QueryTrace()
+        forward_push_loop(graph, reserve, residue, ALPHA, 1e-6, source=0,
+                          backend="numpy", trace=trace)
+        assert trace.counters["sparse_rounds"] > 0
+        assert trace.counters["dense_rounds"] > 0
+        assert (trace.counters["sparse_rounds"]
+                + trace.counters["dense_rounds"]
+                == trace.counters["push_rounds"])
+
+
+# ---------------------------------------------------------------------------
+# Budget contract: raise at a work-unit boundary, state stays valid
+# ---------------------------------------------------------------------------
+class TestBudgetContract:
+    @pytest.mark.parametrize("method", ["frontier", "queue", "priority"])
+    def test_raise_preserves_invariant(self, method):
+        graph = generators.directed_power_law(150, 4, seed=3)
+        reserve, residue = init_state(graph, 0)
+        with pytest.raises(ConvergenceError):
+            forward_push_loop(graph, reserve, residue, ALPHA, 1e-9,
+                              source=0, method=method, max_pushes=25)
+        # Fully-applied pushes only: unit mass survives the raise.
+        assert unit_mass_gap(reserve, residue) < 1e-12
+        assert float(residue.min()) >= 0.0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_frontier_checks_before_applying_round(self, backend):
+        graph = generators.preferential_attachment(100, 3, seed=5)
+        reserve, residue = init_state(graph, 0)
+        budget = 30
+        stats = PushStats()
+        with pytest.raises(ConvergenceError):
+            FRONTIER_BACKENDS[backend](graph, reserve, residue, ALPHA,
+                                       1e-10, source=0, max_pushes=budget,
+                                       stats=stats)
+        # The overflowing round was not applied (or counted).
+        assert stats.pushes <= budget
+        assert unit_mass_gap(reserve, residue) < 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Per-snapshot cache: thresholds LRU, scratch leases, write-gate retirement
+# ---------------------------------------------------------------------------
+class TestSnapshotCache:
+    def test_thresholds_cached_per_r_max(self, tiny_graph):
+        a = push_thresholds(tiny_graph, 1e-4)
+        assert push_thresholds(tiny_graph, 1e-4) is a
+        assert push_thresholds(tiny_graph, 1e-5) is not a
+        # Dangling node (degree 0) uses r_max directly.
+        assert a[5] == pytest.approx(1e-4)
+
+    def test_thresholds_read_only(self, tiny_graph):
+        vec = push_thresholds(tiny_graph, 1e-3)
+        with pytest.raises(ValueError):
+            vec[0] = 0.0
+
+    def test_thresholds_lru_bound(self, tiny_graph):
+        cache = get_push_cache(tiny_graph)
+        first = cache.thresholds(1.0)
+        for k in range(2, _THRESHOLD_CACHE_SIZE + 3):
+            cache.thresholds(float(k))
+        assert len(cache._thresholds) <= _THRESHOLD_CACHE_SIZE
+        # The oldest entry was evicted and is rebuilt on demand.
+        assert cache.thresholds(1.0) is not first
+
+    def test_release_drops_entries(self, tiny_graph):
+        cache = get_push_cache(tiny_graph)
+        vec = cache.thresholds(1e-4)
+        release_push_cache(tiny_graph)
+        assert cache.thresholds(1e-4) is not vec
+        release_push_cache(None)  # tolerated (engine with no snapshot yet)
+
+    def test_with_dangling_clone_gets_fresh_cache(self, tiny_graph):
+        cache = get_push_cache(tiny_graph)
+        clone = tiny_graph.with_dangling("restart")
+        assert get_push_cache(clone) is not cache
+
+    def test_share_lease_roundtrip(self, tiny_graph):
+        cache = get_push_cache(tiny_graph)
+        buf = cache.lease_share()
+        assert buf.shape == (tiny_graph.n,)
+        assert not buf.any()
+        cache.release_share(buf)
+        assert cache.lease_share() is buf
+
+    def test_queue_run_returns_cleared_marker(self, web_graph):
+        reserve, residue = init_state(web_graph, 0)
+        forward_push_loop(web_graph, reserve, residue, ALPHA, 1e-6,
+                          source=0, method="queue")
+        marker = get_push_cache(web_graph).lease_marker()
+        assert not marker.any()
+
+    def test_queue_budget_raise_returns_cleared_marker(self, web_graph):
+        reserve, residue = init_state(web_graph, 0)
+        with pytest.raises(ConvergenceError):
+            forward_push_loop(web_graph, reserve, residue, ALPHA, 1e-9,
+                              source=0, method="queue", max_pushes=10)
+        marker = get_push_cache(web_graph).lease_marker()
+        assert not marker.any()
+
+    def test_query_engine_retires_cache_on_update(self):
+        from repro.service import QueryEngine
+
+        engine = QueryEngine(generators.ring(12))
+        engine.query(0)
+        cache = get_push_cache(engine.graph)
+        assert len(cache._thresholds) > 0
+        assert engine.add_edge(0, 6)
+        assert len(cache._thresholds) == 0  # released inside the update
+
+    def test_concurrent_engine_retires_cache_on_update(self):
+        from repro.serving import ConcurrentQueryEngine
+
+        with ConcurrentQueryEngine(generators.ring(12),
+                                   max_workers=2) as engine:
+            engine.query(0)
+            cache = get_push_cache(engine.graph)
+            assert len(cache._thresholds) > 0
+            assert engine.add_edge(0, 6)
+            assert len(cache._thresholds) == 0
+
+
+# ---------------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------------
+class TestBackendSelection:
+    def test_explicit_numpy(self):
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_env_is_consulted(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend() == "numpy"
+        monkeypatch.setenv(BACKEND_ENV, "bogus")
+        with pytest.raises(ParameterError):
+            resolve_backend()
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "bogus")
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_auto_resolves_by_availability(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        expected = "numba" if numba_available() else "numpy"
+        assert resolve_backend() == expected
+        assert resolve_backend("auto") == expected
+
+    def test_numba_request_honours_availability(self):
+        if numba_available():
+            assert resolve_backend("numba") == "numba"
+        else:
+            with pytest.raises(ParameterError):
+                resolve_backend("numba")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParameterError):
+            forward_push_loop(generators.ring(4), *init_state(
+                generators.ring(4), 0), ALPHA, 1e-3, backend="fortran")
+
+    def test_resolution_is_thread_consistent(self, monkeypatch):
+        # Regression: the availability probe used to re-import the numba
+        # backend on every call; concurrent importing threads could see a
+        # partially-initialized module and resolve "auto" to numba on a
+        # machine without it.  The probe is now cached process-wide, so
+        # every thread must agree.
+        from concurrent.futures import ThreadPoolExecutor
+
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            answers = set(pool.map(lambda _: resolve_backend(),
+                                   range(200)))
+        assert len(answers) == 1
+
+
+# ---------------------------------------------------------------------------
+# Weighted kernel rides the same candidate/density machinery
+# ---------------------------------------------------------------------------
+class TestWeightedOutputSensitive:
+    def test_weighted_push_crosses_regimes(self):
+        from repro.weighted import (from_weighted_edges,
+                                    weighted_forward_push,
+                                    weighted_init_state)
+
+        base = path_into_hub_graph()
+        triples = [(u, int(v), 1.0 + (u % 3))
+                   for u in range(base.n)
+                   for v in base.out_neighbors(u)]
+        wg = from_weighted_edges(base.n, triples)
+        reserve, residue = weighted_init_state(wg, 0)
+        stats = weighted_forward_push(wg, reserve, residue, ALPHA, 1e-6)
+        assert stats.sparse_rounds > 0
+        assert stats.dense_rounds > 0
+        assert unit_mass_gap(reserve, residue) < 1e-12
+        assert no_eligible(wg, residue, 1e-6)
