@@ -4,12 +4,14 @@ from repro.bench.appendix import APPENDIX_EXPERIMENTS
 from repro.bench.experiments import MAIN_EXPERIMENTS
 from repro.bench.extensions import EXTENSION_EXPERIMENTS
 from repro.bench.harness import (
+    HTTP_BENCH_KIND,
     PUSH_BENCH_KIND,
     SERVING_BENCH_KIND,
     BenchConfig,
     GroundTruthCache,
     SolverRun,
     export_suite_traces,
+    http_benchmark,
     push_benchmark,
     run_suite,
     serving_benchmark,
@@ -30,6 +32,7 @@ __all__ = [
     "BenchConfig",
     "EXTENSION_EXPERIMENTS",
     "GroundTruthCache",
+    "HTTP_BENCH_KIND",
     "MAIN_EXPERIMENTS",
     "PUSH_BENCH_KIND",
     "SERVING_BENCH_KIND",
@@ -37,6 +40,7 @@ __all__ = [
     "SolverRun",
     "Table",
     "export_suite_traces",
+    "http_benchmark",
     "push_benchmark",
     "render_all",
     "run_suite",

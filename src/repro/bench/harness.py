@@ -587,3 +587,162 @@ def serving_benchmark(graph, *, num_unique=8, repeat=3, num_workers=4,
         },
         "engine_stats": batch_stats,
     }
+
+
+HTTP_BENCH_KIND = "repro-http-bench"
+
+
+def http_benchmark(graph, *, num_unique=8, repeat=4, concurrency=4,
+                   accuracy=None, seed=0, cache_size=256, num_workers=4,
+                   max_inflight=64, rate_limit=None,
+                   deadline_ms=120_000.0):
+    """End-to-end HTTP serving benchmark over a loopback socket.
+
+    Boots an :class:`repro.server.SSRWRServer` on an ephemeral loopback
+    port and drives it with ``concurrency`` stdlib clients (one
+    :class:`repro.server.ServerClient` per thread, the honest model of
+    independent network clients) over the same hot workload
+    :func:`serving_benchmark` uses: ``num_unique`` sources requested
+    ``repeat`` times each.  Requests shed by admission control (503) or
+    rate-limited (429) are retried after the server's ``Retry-After``
+    hint -- sheds are counted, not lost, so the byte-identity check
+    still covers every request position.
+
+    Reports throughput (``qps``), request latency percentiles
+    (``p50_seconds`` / ``p95_seconds``), the shed rate, and whether
+    every HTTP answer was value-identical (to float64 precision, after
+    the JSON round trip) to a sequential :class:`repro.service.QueryEngine`
+    loop.  Returns a JSON-safe dict (``kind = "repro-http-bench"``)
+    mirroring ``BENCH_serving.json`` conventions.
+    """
+    import queue as queue_mod
+    import threading
+
+    from repro.server import ServerClient, ServerConfig, ServerError, \
+        start_in_thread
+    from repro.service import QueryEngine
+    from repro.serving import ConcurrentQueryEngine
+
+    accuracy = accuracy or AccuracyParams.paper_defaults(graph.n)
+    unique = [int(s) for s in random_seeds(graph, num_unique, seed=seed)]
+    requests = [s for _ in range(repeat) for s in unique]
+
+    # Sequential reference (same per-source seeds the engine derives).
+    reference_engine = QueryEngine(graph, accuracy=accuracy, cache_size=0,
+                                   seed=seed)
+    expected = {s: reference_engine.query(s).estimates.tobytes()
+                for s in unique}
+
+    engine = ConcurrentQueryEngine(
+        graph, accuracy=accuracy, seed=seed, cache_size=cache_size,
+        max_workers=num_workers,
+    )
+    config = ServerConfig(port=0, max_inflight=max_inflight,
+                          rate_limit=rate_limit,
+                          default_deadline_ms=deadline_ms)
+    handle = start_in_thread(engine, config)
+
+    work = queue_mod.Queue()
+    for index, source in enumerate(requests):
+        work.put((index, source))
+    latencies = [None] * len(requests)
+    identical = [False] * len(requests)
+    sheds = [0]
+    rate_limited = [0]
+    failures = []
+    lock = threading.Lock()
+
+    def drive(worker_id):
+        client = ServerClient(base_url=handle.url,
+                              client_id=f"bench-{worker_id}")
+        try:
+            while True:
+                try:
+                    index, source = work.get_nowait()
+                except queue_mod.Empty:
+                    return
+                tic = time.perf_counter()
+                while True:
+                    try:
+                        doc = client.query(source)
+                        break
+                    except ServerError as exc:
+                        if exc.status not in (429, 503):
+                            with lock:
+                                failures.append(
+                                    f"source {source}: {exc}"
+                                )
+                            return
+                        with lock:
+                            if exc.status == 503:
+                                sheds[0] += 1
+                            else:
+                                rate_limited[0] += 1
+                        time.sleep(float(exc.retry_after or 1) / 20.0)
+                latencies[index] = time.perf_counter() - tic
+                got = np.asarray(doc["estimates"], dtype=np.float64)
+                identical[index] = got.tobytes() == expected[source]
+        finally:
+            client.close()
+
+    # Warm the kernels once so the timed run measures steady state.
+    with ServerClient(base_url=handle.url, client_id="warm") as warm:
+        warm.query(unique[0])
+    engine.flush_cache()
+
+    tic = time.perf_counter()
+    threads = [threading.Thread(target=drive, args=(i,), daemon=True)
+               for i in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - tic
+
+    metrics_snapshot = handle.server.metrics.snapshot()
+    engine_stats = {
+        "queries": engine.stats.queries,
+        "cache_hits": engine.stats.cache_hits,
+        "cache_misses": engine.stats.cache_misses,
+        "coalesced": engine.stats.coalesced,
+        "solver_calls": engine.stats.solver_calls,
+        "deadline_exceeded": engine.stats.deadline_exceeded,
+    }
+    handle.stop()
+
+    answered = [lat for lat in latencies if lat is not None]
+    arr = np.asarray(answered, dtype=np.float64)
+    attempts = len(requests) + sheds[0] + rate_limited[0]
+    return {
+        "kind": HTTP_BENCH_KIND,
+        "graph": {"n": graph.n, "m": graph.m},
+        "accuracy": {"eps": accuracy.eps, "delta": accuracy.delta,
+                     "p_f": accuracy.p_f},
+        "workload": {
+            "requests": len(requests),
+            "unique_sources": len(unique),
+            "repeat": repeat,
+            "sources": unique,
+            "seed": seed,
+        },
+        "concurrency": concurrency,
+        "workers": num_workers,
+        "max_inflight": max_inflight,
+        "rate_limit": rate_limit,
+        "wall_seconds": wall,
+        "qps": len(answered) / wall if wall > 0 else float("inf"),
+        "answered": len(answered),
+        "failures": failures,
+        "latency": {
+            "p50_seconds": float(np.percentile(arr, 50)) if answered else None,
+            "p95_seconds": float(np.percentile(arr, 95)) if answered else None,
+            "mean_seconds": float(arr.mean()) if answered else None,
+        },
+        "shed_total": sheds[0],
+        "rate_limited_total": rate_limited[0],
+        "shed_rate": sheds[0] / attempts if attempts else 0.0,
+        "byte_identical": bool(answered) and not failures
+        and all(identical),
+        "server_metrics": metrics_snapshot,
+        "engine_stats": engine_stats,
+    }

@@ -74,6 +74,32 @@ def build_parser():
     serve_cmd.add_argument("--min-speedup", type=float, default=None,
                            help="exit non-zero unless batch speedup vs. "
                                 "the sequential loop reaches this")
+    http_cmd = sub.add_parser(
+        "serve-http",
+        help="benchmark the HTTP service end to end over loopback",
+    )
+    http_cmd.add_argument("dataset", help="dataset name from the catalog")
+    http_cmd.add_argument("--sources", type=int, default=8,
+                          help="number of distinct query sources")
+    http_cmd.add_argument("--repeat", type=int, default=4,
+                          help="requests per source (hot workload)")
+    http_cmd.add_argument("--concurrency", type=int, default=4,
+                          help="client threads driving the server")
+    http_cmd.add_argument("--workers", type=int, default=4,
+                          help="engine thread-pool width")
+    http_cmd.add_argument("--max-inflight", type=int, default=64,
+                          help="admission-control bound on pending work")
+    http_cmd.add_argument("--scale", type=float, default=1.0,
+                          help="dataset scale factor")
+    http_cmd.add_argument("--seed", type=int, default=0)
+    http_cmd.add_argument("--delta-scale", type=float, default=1.0,
+                          help="relax delta to this multiple of 1/n")
+    http_cmd.add_argument("--json", metavar="PATH", default=None,
+                          help="write the benchmark document "
+                               "(e.g. BENCH_http.json)")
+    http_cmd.add_argument("--min-qps", type=float, default=None,
+                          help="exit non-zero unless the measured "
+                               "queries/second reaches this")
     walks_cmd = sub.add_parser(
         "walks",
         help="benchmark the process-parallel remedy walk kernel",
@@ -167,6 +193,8 @@ def main(argv=None):
         return _run_query(args)
     if args.command == "serve-batch":
         return _run_serve_batch(args)
+    if args.command == "serve-http":
+        return _run_serve_http(args)
     if args.command == "walks":
         return _run_walks_bench(args)
     if args.command == "push":
@@ -296,6 +324,66 @@ def _run_serve_batch(args):
     if args.min_speedup is not None and doc["speedup"] < args.min_speedup:
         print(f"speedup {doc['speedup']:.2f}x below required "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_serve_http(args):
+    import json
+
+    from repro.bench.harness import http_benchmark
+    from repro.core.params import AccuracyParams
+    from repro.datasets import catalog
+    from repro.errors import ParameterError
+
+    try:
+        graph = catalog.load(args.dataset, scale=args.scale)
+        accuracy = AccuracyParams.paper_defaults(
+            graph.n, delta_scale=args.delta_scale
+        )
+        doc = http_benchmark(
+            graph, num_unique=args.sources, repeat=args.repeat,
+            concurrency=args.concurrency, num_workers=args.workers,
+            max_inflight=args.max_inflight, accuracy=accuracy,
+            seed=args.seed,
+        )
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    workload = doc["workload"]
+    latency = doc["latency"]
+    print(f"{args.dataset} (n={graph.n}, m={graph.m})  "
+          f"{workload['requests']} HTTP requests over "
+          f"{workload['unique_sources']} sources, "
+          f"{doc['concurrency']} clients / {doc['workers']} workers")
+    print(f"  wall time          {doc['wall_seconds']:8.3f} s  "
+          f"({doc['qps']:.1f} qps)")
+    print(f"  latency            p50 {latency['p50_seconds'] * 1e3:7.2f} ms  "
+          f"p95 {latency['p95_seconds'] * 1e3:7.2f} ms")
+    print(f"  shed / rate-limited retries: {doc['shed_total']} / "
+          f"{doc['rate_limited_total']}  "
+          f"(shed rate {doc['shed_rate']:.3f})")
+    print(f"  byte-identical to sequential: {doc['byte_identical']}")
+    if args.json:
+        from pathlib import Path
+
+        from repro.obs.export import _json_safe
+
+        path = Path(args.json)
+        path.write_text(json.dumps(_json_safe(doc), indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"  written to {path}")
+    if not doc["byte_identical"]:
+        print("HTTP results diverge from the sequential loop",
+              file=sys.stderr)
+        return 1
+    if doc["failures"]:
+        print(f"{len(doc['failures'])} requests failed terminally "
+              f"(first: {doc['failures'][0]})", file=sys.stderr)
+        return 1
+    if args.min_qps is not None and doc["qps"] < args.min_qps:
+        print(f"throughput {doc['qps']:.1f} qps below required "
+              f"{args.min_qps:.1f} qps", file=sys.stderr)
         return 1
     return 0
 

@@ -28,3 +28,11 @@ class ConvergenceError(ReproError):
 class TraceError(ReproError):
     """Raised on misuse of the observability layer (unbalanced phases,
     malformed trace documents)."""
+
+
+class DeadlineExceededError(ReproError):
+    """Raised when a query's deadline expires before it completes.
+
+    Cooperative: the solver pipeline checks the deadline at phase
+    boundaries (via :class:`repro.obs.DeadlineTrace`), so the worker is
+    released at the next boundary rather than killed mid-kernel."""

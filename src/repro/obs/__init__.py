@@ -16,13 +16,21 @@ from repro.obs.export import (
     aggregate_by_worker,
     aggregate_traces,
     load_traces,
+    render_prometheus,
     save_traces,
     trace_from_dict,
     trace_to_dict,
 )
-from repro.obs.trace import NULL_TRACE, NullTrace, PhaseRecord, QueryTrace
+from repro.obs.trace import (
+    NULL_TRACE,
+    DeadlineTrace,
+    NullTrace,
+    PhaseRecord,
+    QueryTrace,
+)
 
 __all__ = [
+    "DeadlineTrace",
     "NULL_TRACE",
     "NullTrace",
     "PhaseRecord",
@@ -30,6 +38,7 @@ __all__ = [
     "aggregate_by_worker",
     "aggregate_traces",
     "load_traces",
+    "render_prometheus",
     "save_traces",
     "trace_from_dict",
     "trace_to_dict",

@@ -165,6 +165,65 @@ def aggregate_traces(traces, *, percentiles=(50, 95)):
     }
 
 
+def _prometheus_number(value):
+    """Format a sample value the Prometheus text parser accepts."""
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+def _prometheus_labels(labels):
+    if not labels:
+        return ""
+    rendered = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        value = (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+        rendered.append(f'{key}="{value}"')
+    return "{" + ",".join(rendered) + "}"
+
+
+def render_prometheus(families):
+    """Render metric families as Prometheus text exposition format.
+
+    ``families`` is an iterable of dicts::
+
+        {"name": "repro_queries_total",
+         "type": "counter",            # counter | gauge | summary | histogram
+         "help": "Total queries answered.",
+         "samples": [(suffix, labels_dict, value), ...]}
+
+    ``suffix`` is appended to the family name (summaries use ``""`` for
+    quantile samples plus ``"_count"`` / ``"_sum"``); ``labels_dict`` may
+    be ``None``.  Returns the full page as one string, terminated by a
+    newline, in the ``text/plain; version=0.0.4`` format Prometheus
+    scrapes.  The serving layer's ``GET /metrics`` endpoint is this
+    function applied to :class:`repro.server.metrics.ServerMetrics`.
+    """
+    lines = []
+    for family in families:
+        name = str(family["name"])
+        kind = str(family.get("type", "gauge"))
+        help_text = str(family.get("help", "")).replace("\\", r"\\") \
+            .replace("\n", r"\n")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for suffix, labels, value in family.get("samples", ()):
+            lines.append(
+                f"{name}{suffix}{_prometheus_labels(labels)} "
+                f"{_prometheus_number(value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
 def aggregate_by_worker(traces, *, percentiles=(50, 95), key="thread"):
     """Per-worker :func:`aggregate_traces`, grouped by a meta tag.
 

@@ -96,6 +96,66 @@ class NullTrace:
 NULL_TRACE = NullTrace()
 
 
+class DeadlineTrace:
+    """Trace proxy that cancels a query cooperatively at phase boundaries.
+
+    Wraps any object with the :class:`QueryTrace` hook surface (including
+    :data:`NULL_TRACE`) and forwards every hook unchanged, but compares
+    ``time.monotonic()`` against an absolute ``deadline`` whenever a phase
+    begins or ends.  Past the deadline it raises
+    :class:`repro.errors.DeadlineExceededError`, so a solver run that
+    cannot finish in time releases its worker at the next phase boundary
+    instead of completing work nobody will read.
+
+    The proxy only observes and raises -- it never participates in the
+    arithmetic, so a run that finishes in time is byte-identical to an
+    unwrapped run (the serving equivalence tests cover the HTTP path
+    end to end).
+    """
+
+    __slots__ = ("inner", "deadline")
+
+    def __init__(self, deadline, inner=None):
+        self.deadline = float(deadline)
+        self.inner = inner if inner is not None else NULL_TRACE
+
+    @property
+    def enabled(self):
+        return self.inner.enabled
+
+    def __bool__(self):
+        return bool(self.inner)
+
+    def remaining(self):
+        """Seconds until the deadline (negative once it has passed)."""
+        return self.deadline - time.monotonic()
+
+    def check(self):
+        """Raise :class:`DeadlineExceededError` if the deadline passed."""
+        if time.monotonic() >= self.deadline:
+            from repro.errors import DeadlineExceededError
+
+            raise DeadlineExceededError(
+                f"query deadline exceeded by {-self.remaining():.3f}s "
+                f"(cooperative cancellation at a phase boundary)"
+            )
+
+    def note(self, **meta):
+        self.inner.note(**meta)
+
+    def begin_phase(self, name, residue=None):
+        self.check()
+        return self.inner.begin_phase(name, residue)
+
+    def end_phase(self, residue=None, **counters):
+        record = self.inner.end_phase(residue, **counters)
+        self.check()
+        return record
+
+    def add_counters(self, **counters):
+        self.inner.add_counters(**counters)
+
+
 class QueryTrace:
     """Record of where one query spent its time and operations.
 

@@ -1,0 +1,696 @@
+"""The network-facing SSRWR service.
+
+:class:`SSRWRServer` wraps a
+:class:`repro.serving.ConcurrentQueryEngine` behind a hand-rolled
+HTTP/1.1 front door built on ``asyncio.start_server`` -- no runtime
+dependencies beyond the stdlib.  It is designed as a real front door,
+not a demo:
+
+* **admission control** -- at most ``max_inflight`` requests are
+  admitted at once; excess load is shed with ``503 + Retry-After``
+  before it touches the engine, and an optional per-client token bucket
+  (keyed on the ``X-Client-Id`` header) answers ``429``;
+* **deadline propagation** -- every request carries a deadline
+  (``X-Deadline-Ms`` header or ``deadline_ms`` query param, with a
+  server default).  The deadline is threaded into the engine, which
+  cancels cooperatively at solver phase boundaries, so a query that
+  cannot finish in time frees its worker and answers ``504``;
+* **graceful drain** -- SIGTERM stops accepting, drains in-flight
+  requests up to ``drain_timeout`` seconds, then retires walk pools and
+  push caches through the engine's existing close path.
+
+Endpoints: ``POST /query``, ``POST /query_batch``, ``POST /top_k``,
+``POST /mutate``, ``GET /healthz``, ``GET /readyz``, ``GET /metrics``.
+See ``docs/server.md`` for the wire reference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.params import AccuracyParams
+from repro.errors import DeadlineExceededError, ParameterError
+from repro.server import protocol
+from repro.server.limits import (
+    AdmissionController,
+    TokenBucket,
+    deadline_from_ms,
+    parse_deadline_ms,
+)
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import ProtocolError, json_body, render_response
+
+#: Endpoints that bypass admission control and rate limiting.
+CONTROL_ENDPOINTS = frozenset({"/healthz", "/readyz", "/metrics"})
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of :class:`SSRWRServer` (all have serving defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                       # 0 = ephemeral (tests/bench)
+    max_inflight: int = 64              # admission bound (queued + running)
+    dispatch_workers: int = 8           # threads running engine calls
+    rate_limit: float | None = None     # per-client requests/second
+    rate_burst: float | None = None     # bucket size (default: rate)
+    default_deadline_ms: float = 30_000.0
+    max_deadline_ms: float = 300_000.0
+    drain_timeout: float = 10.0         # seconds to wait on SIGTERM
+    max_body_bytes: int = 1_048_576
+    retry_after_seconds: int = 1        # hint sent with 503 sheds
+    client_header: str = "x-client-id"
+
+    def __post_init__(self):
+        if self.dispatch_workers < 1:
+            raise ParameterError(
+                f"dispatch_workers must be >= 1, got {self.dispatch_workers}"
+            )
+        if self.default_deadline_ms <= 0:
+            raise ParameterError(
+                f"default_deadline_ms must be positive, "
+                f"got {self.default_deadline_ms}"
+            )
+
+
+class SSRWRServer:
+    """Asyncio HTTP/JSON service over a :class:`ConcurrentQueryEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The serving engine to expose.  With ``own_engine=True`` (the
+        default) the drain path closes it -- retiring its thread pool,
+        walk-executor pool and push caches; pass ``own_engine=False``
+        when the caller keeps using the engine after the server stops.
+    config:
+        :class:`ServerConfig`; ``None`` uses the defaults.
+    """
+
+    def __init__(self, engine, config=None, *, own_engine=True):
+        self._engine = engine
+        self._config = config or ServerConfig()
+        self._own_engine = bool(own_engine)
+        self._admission = AdmissionController(self._config.max_inflight)
+        self._limiter = None
+        if self._config.rate_limit is not None:
+            self._limiter = TokenBucket(self._config.rate_limit,
+                                        self._config.rate_burst)
+        self.metrics = ServerMetrics()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._config.dispatch_workers,
+            thread_name_prefix="ssrwr-http",
+        )
+        self._server = None
+        self._loop = None
+        self._stop_event = None
+        self._draining = False
+        self._closed = False
+        self._connections = set()
+        self._routes = {
+            ("POST", "/query"): self._handle_query,
+            ("POST", "/query_batch"): self._handle_query_batch,
+            ("POST", "/top_k"): self._handle_top_k,
+            ("POST", "/mutate"): self._handle_mutate,
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/readyz"): self._handle_readyz,
+            ("GET", "/metrics"): self._handle_metrics,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def config(self):
+        return self._config
+
+    @property
+    def port(self):
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._server is None:
+            return None
+        sockets = self._server.sockets or []
+        return sockets[0].getsockname()[1] if sockets else None
+
+    @property
+    def url(self):
+        return f"http://{self._config.host}:{self.port}"
+
+    @property
+    def draining(self):
+        return self._draining
+
+    @property
+    def ready(self):
+        """Serving and not paused behind a mutation drain."""
+        return (not self._draining and not self._closed
+                and not self._engine.mutating)
+
+    async def start(self):
+        """Bind the listener; returns once accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_connection, host=self._config.host,
+            port=self._config.port,
+        )
+        return self
+
+    def install_signal_handlers(self):
+        """SIGTERM/SIGINT trigger a graceful drain (CLI path).
+
+        No-op where signal handlers are unavailable (non-main thread).
+        """
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                return False
+        return True
+
+    def request_shutdown(self):
+        """Begin a graceful drain; safe from any thread or signal."""
+        loop, event = self._loop, self._stop_event
+        if loop is None or event is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    async def run_until_shutdown(self):
+        """Serve until :meth:`request_shutdown`, then drain and close."""
+        await self._stop_event.wait()
+        await self.shutdown()
+
+    async def shutdown(self):
+        """Graceful drain: stop accepting, finish in-flight, close.
+
+        Readiness flips immediately (load balancers stop routing); the
+        listener closes so no new connection lands; admitted requests
+        get up to ``drain_timeout`` seconds to finish; whatever remains
+        is cancelled; finally the engine's close path retires its worker
+        pool, walk executors and push caches.
+        """
+        if self._closed:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self._config.drain_timeout
+        while self._admission.inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        pending = [task for task in self._connections if not task.done()]
+        if pending:
+            await asyncio.wait(
+                pending, timeout=max(0.0, deadline - time.monotonic())
+            )
+        for task in self._connections:
+            if not task.done():
+                task.cancel()
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        if self._own_engine:
+            self._engine.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(self, reader, writer):
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while not self._draining:
+                try:
+                    request = await protocol.read_request(
+                        reader, max_body=self._config.max_body_bytes
+                    )
+                except ProtocolError as exc:
+                    writer.write(render_response(
+                        exc.status, json_body({"error": exc.message}),
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if request is None:
+                    break
+                response = await self._respond(request)
+                keep_alive = request.keep_alive and not self._draining
+                try:
+                    writer.write(response)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+                if not keep_alive:
+                    break
+        finally:
+            self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, request):
+        """Route one request; always returns rendered response bytes."""
+        tic = time.perf_counter()
+        endpoint = request.path
+        handler = self._routes.get((request.method, endpoint))
+        if handler is None:
+            known_paths = {path for _, path in self._routes}
+            status = 405 if endpoint in known_paths else 404
+            body = json_body({"error": f"{request.method} {endpoint}"})
+            self.metrics.observe_request(endpoint, status,
+                                         time.perf_counter() - tic)
+            return render_response(status, body)
+
+        if endpoint in CONTROL_ENDPOINTS:
+            status, body, headers, ctype = await handler(request)
+            self.metrics.observe_request(endpoint, status,
+                                         time.perf_counter() - tic)
+            return render_response(status, body, content_type=ctype,
+                                   extra_headers=headers)
+
+        # Admission control for the work-carrying endpoints.
+        if self._draining:
+            status, body, headers = 503, json_body(
+                {"error": "server is draining"}
+            ), {"Retry-After": str(self._config.retry_after_seconds)}
+            self.metrics.observe_request(endpoint, status,
+                                         time.perf_counter() - tic)
+            return render_response(status, body, extra_headers=headers,
+                                   keep_alive=False)
+        client = request.header(self._config.client_header, "anonymous")
+        if self._limiter is not None and not self._limiter.allow(client):
+            retry = max(1, int(self._limiter.retry_after(client) + 0.999))
+            status, body = 429, json_body(
+                {"error": f"client {client!r} is rate-limited"}
+            )
+            self.metrics.observe_request(endpoint, status,
+                                         time.perf_counter() - tic)
+            return render_response(status, body,
+                                   extra_headers={"Retry-After": str(retry)})
+        if not self._admission.try_acquire():
+            status, body = 503, json_body(
+                {"error": "pending-request queue is full"}
+            )
+            self.metrics.observe_request(endpoint, status,
+                                         time.perf_counter() - tic)
+            return render_response(
+                status, body,
+                extra_headers={
+                    "Retry-After": str(self._config.retry_after_seconds)
+                },
+            )
+        try:
+            status, body, headers, ctype = await handler(request)
+        except ProtocolError as exc:
+            status, body, headers, ctype = (
+                exc.status, json_body({"error": exc.message}), None,
+                "application/json",
+            )
+        except DeadlineExceededError as exc:
+            status, body, headers, ctype = (
+                504, json_body({"error": str(exc)}), None,
+                "application/json",
+            )
+        except ParameterError as exc:
+            status, body, headers, ctype = (
+                400, json_body({"error": str(exc)}), None,
+                "application/json",
+            )
+        except Exception as exc:   # noqa: BLE001 -- last-resort 500
+            status, body, headers, ctype = (
+                500,
+                json_body({"error": f"{type(exc).__name__}: {exc}"}),
+                None, "application/json",
+            )
+        finally:
+            self._admission.release()
+        self.metrics.observe_request(endpoint, status,
+                                     time.perf_counter() - tic)
+        return render_response(status, body, content_type=ctype,
+                               extra_headers=headers)
+
+    # ------------------------------------------------------------------
+    # Request helpers
+    # ------------------------------------------------------------------
+    def _deadline_for(self, request):
+        """Absolute monotonic deadline for a request (header wins)."""
+        raw = request.header("x-deadline-ms")
+        if raw is None:
+            raw = request.query.get("deadline_ms")
+        try:
+            ms = parse_deadline_ms(
+                raw, default_ms=self._config.default_deadline_ms,
+                max_ms=self._config.max_deadline_ms,
+            )
+        except ValueError:
+            raise ProtocolError(
+                400, f"deadline must be numeric milliseconds, got {raw!r}"
+            ) from None
+        return deadline_from_ms(ms)
+
+    @staticmethod
+    def _accuracy_from(payload):
+        spec = payload.get("accuracy")
+        if spec is None:
+            return None
+        if not isinstance(spec, dict):
+            raise ProtocolError(400, "accuracy must be an object")
+        try:
+            return AccuracyParams(
+                eps=float(spec["eps"]), delta=float(spec["delta"]),
+                p_f=float(spec["p_f"]),
+            )
+        except KeyError as exc:
+            raise ProtocolError(
+                400, f"accuracy is missing {exc.args[0]!r}"
+            ) from None
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(400, f"bad accuracy value: {exc}") from None
+
+    @staticmethod
+    def _int_field(payload, name):
+        if name not in payload:
+            raise ProtocolError(400, f"missing required field {name!r}")
+        value = payload[name]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(400, f"{name!r} must be an integer")
+        return int(value)
+
+    async def _in_pool(self, fn):
+        return await self._loop.run_in_executor(self._pool, fn)
+
+    # ------------------------------------------------------------------
+    # Endpoint handlers (each returns status, body, headers, ctype)
+    # ------------------------------------------------------------------
+    async def _handle_query(self, request):
+        payload = request.json()
+        source = self._int_field(payload, "source")
+        accuracy = self._accuracy_from(payload)
+        deadline = self._deadline_for(request)
+        top_k = payload.get("top_k")
+        result = await self._in_pool(
+            lambda: self._engine.query(source, accuracy=accuracy,
+                                       deadline=deadline)
+        )
+        doc = {
+            "source": result.source,
+            "epoch": self._engine.epoch,
+            "algorithm": result.algorithm,
+            "walks_used": int(result.walks_used),
+            "pushes": int(result.pushes),
+        }
+        if top_k is not None:
+            nodes, values = result.top_k(int(top_k))
+            doc["nodes"] = [int(v) for v in nodes]
+            doc["values"] = [float(v) for v in values]
+        else:
+            doc["estimates"] = [float(v) for v in result.estimates]
+        return 200, json_body(doc), None, "application/json"
+
+    async def _handle_query_batch(self, request):
+        payload = request.json()
+        sources = payload.get("sources")
+        if not isinstance(sources, list) or not sources:
+            raise ProtocolError(400, "'sources' must be a non-empty list")
+        for value in sources:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(400, "'sources' must hold integers")
+        accuracy = self._accuracy_from(payload)
+        deadline = self._deadline_for(request)
+        outcome = await self._in_pool(
+            lambda: self._engine.query_batch(
+                sources, accuracy=accuracy, deadline=deadline,
+                on_error="collect",
+            )
+        )
+        if (outcome.errors
+                and any(result is None for result in outcome.results)
+                and time.monotonic() >= deadline):
+            # The batch as a whole ran out of budget; per-item errors
+            # would just repeat the deadline message.
+            raise DeadlineExceededError(
+                "batch deadline expired before every source was answered"
+            )
+        results = []
+        for result in outcome.results:
+            if result is None:
+                results.append(None)
+            else:
+                results.append({
+                    "source": result.source,
+                    "estimates": [float(v) for v in result.estimates],
+                })
+        doc = {
+            "epoch": self._engine.epoch,
+            "results": results,
+            "errors": {str(source): message
+                       for source, message in outcome.errors.items()},
+        }
+        return 200, json_body(doc), None, "application/json"
+
+    async def _handle_top_k(self, request):
+        payload = request.json()
+        source = self._int_field(payload, "source")
+        k = self._int_field(payload, "k")
+        if k < 1:
+            raise ProtocolError(400, "'k' must be >= 1")
+        accuracy = self._accuracy_from(payload)
+        deadline = self._deadline_for(request)
+        nodes, values = await self._in_pool(
+            lambda: self._engine.top_k(source, k, accuracy=accuracy,
+                                       deadline=deadline)
+        )
+        doc = {
+            "source": source,
+            "k": int(k),
+            "epoch": self._engine.epoch,
+            "nodes": [int(v) for v in nodes],
+            "values": [float(v) for v in values],
+        }
+        return 200, json_body(doc), None, "application/json"
+
+    async def _handle_mutate(self, request):
+        payload = request.json()
+        op = payload.get("op")
+        if op == "add_edge":
+            u = self._int_field(payload, "u")
+            v = self._int_field(payload, "v")
+            undirected = bool(payload.get("undirected", False))
+            changed = await self._in_pool(
+                lambda: self._engine.add_edge(u, v, undirected=undirected)
+            )
+        elif op == "remove_edge":
+            u = self._int_field(payload, "u")
+            v = self._int_field(payload, "v")
+            changed = await self._in_pool(
+                lambda: self._engine.remove_edge(u, v)
+            )
+        elif op == "remove_node":
+            u = self._int_field(payload, "u")
+            changed = bool(await self._in_pool(
+                lambda: self._engine.remove_node(u)
+            ))
+        else:
+            raise ProtocolError(
+                400,
+                f"op must be add_edge | remove_edge | remove_node, "
+                f"got {op!r}",
+            )
+        if changed:
+            self.metrics.observe_mutation()
+        doc = {"op": op, "changed": bool(changed),
+               "epoch": self._engine.epoch}
+        return 200, json_body(doc), None, "application/json"
+
+    async def _handle_healthz(self, request):
+        del request
+        return 200, json_body({"status": "ok"}), None, "application/json"
+
+    async def _handle_readyz(self, request):
+        del request
+        if self.ready:
+            doc = {"ready": True, "epoch": self._engine.epoch}
+            return 200, json_body(doc), None, "application/json"
+        reason = "draining" if self._draining else "mutating"
+        doc = {"ready": False, "reason": reason}
+        return (503, json_body(doc),
+                {"Retry-After": str(self._config.retry_after_seconds)},
+                "application/json")
+
+    async def _handle_metrics(self, request):
+        del request
+        page = self.metrics.render(
+            engine=self._engine, inflight=self._admission.inflight,
+            ready=self.ready,
+        )
+        return (200, page, None,
+                "text/plain; version=0.0.4; charset=utf-8")
+
+
+# ----------------------------------------------------------------------
+# Embedding helpers
+# ----------------------------------------------------------------------
+class ServerHandle:
+    """A server running on a background thread (tests, bench, examples).
+
+    Created by :func:`start_in_thread`; ``stop()`` performs the same
+    graceful drain as SIGTERM and joins the thread.
+    """
+
+    def __init__(self, server, thread, started, failure):
+        self.server = server
+        self._thread = thread
+        self._started = started
+        self._failure = failure
+
+    @property
+    def url(self):
+        return self.server.url
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def stop(self, timeout=30.0):
+        """Drain, close and join; idempotent."""
+        self.server.request_shutdown()
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("server thread did not stop in time")
+        if self._failure:
+            raise self._failure[0]
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False
+
+
+def start_in_thread(engine, config=None, *, own_engine=True):
+    """Run an :class:`SSRWRServer` on a daemon thread; returns a handle.
+
+    Blocks until the listener is bound (so ``handle.url`` is valid) and
+    raises whatever the server thread raised during startup.
+    """
+    server = SSRWRServer(engine, config, own_engine=own_engine)
+    started = threading.Event()
+    failure = []
+
+    async def _amain():
+        try:
+            await server.start()
+        finally:
+            started.set()
+        await server.run_until_shutdown()
+
+    def _thread_main():
+        try:
+            asyncio.run(_amain())
+        except BaseException as exc:  # noqa: BLE001 -- re-raised in stop()
+            failure.append(exc)
+            started.set()
+
+    thread = threading.Thread(target=_thread_main, name="repro-serve",
+                              daemon=True)
+    thread.start()
+    started.wait(timeout=30.0)
+    if failure:
+        raise failure[0]
+    if server.port is None:
+        thread.join(timeout=1.0)
+        raise RuntimeError("server failed to bind a listener")
+    return ServerHandle(server, thread, started, failure)
+
+
+# ----------------------------------------------------------------------
+# Console entry point (`repro-serve`)
+# ----------------------------------------------------------------------
+def build_parser():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve SSRWR queries over HTTP (see docs/server.md).",
+    )
+    parser.add_argument("dataset", help="dataset name from the catalog")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="engine thread-pool width")
+    parser.add_argument("--walk-workers", type=int, default=1,
+                        help="process-parallel remedy walks per query")
+    parser.add_argument("--cache-size", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-inflight", type=int, default=64,
+                        help="admission bound before 503 load shedding")
+    parser.add_argument("--rate-limit", type=float, default=None,
+                        help="per-client requests/second (default: off)")
+    parser.add_argument("--rate-burst", type=float, default=None)
+    parser.add_argument("--default-deadline-ms", type=float,
+                        default=30_000.0)
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        help="seconds to finish in-flight work on SIGTERM")
+    parser.add_argument("--trace", action="store_true",
+                        help="per-phase trace aggregation in /metrics "
+                             "(bounded retention)")
+    return parser
+
+
+def main(argv=None):
+    from repro.datasets import catalog
+    from repro.serving import ConcurrentQueryEngine
+
+    args = build_parser().parse_args(argv)
+    try:
+        graph = catalog.load(args.dataset, scale=args.scale)
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    engine = ConcurrentQueryEngine(
+        graph, max_workers=args.workers, walk_workers=args.walk_workers,
+        cache_size=args.cache_size, seed=args.seed, trace=args.trace,
+        trace_capacity=512 if args.trace else None,
+    )
+    config = ServerConfig(
+        host=args.host, port=args.port, max_inflight=args.max_inflight,
+        rate_limit=args.rate_limit, rate_burst=args.rate_burst,
+        default_deadline_ms=args.default_deadline_ms,
+        drain_timeout=args.drain_timeout,
+    )
+    server = SSRWRServer(engine, config)
+
+    async def _amain():
+        await server.start()
+        server.install_signal_handlers()
+        print(f"repro-serve: listening on {server.url} "
+              f"(dataset={args.dataset}, n={graph.n}, m={graph.m})",
+              flush=True)
+        await server.run_until_shutdown()
+        print("repro-serve: drained cleanly", flush=True)
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""Admission control: bounded in-flight queue and per-client rate limits.
+
+Two independent mechanisms protect the engine from overload:
+
+* :class:`AdmissionController` -- a bounded count of admitted-but-
+  unfinished requests.  When the bound is hit new work is *shed* with
+  ``503 + Retry-After`` instead of queueing without limit; shedding is
+  non-destructive by construction because a shed request never touches
+  the engine.
+* :class:`TokenBucket` -- a per-client token bucket keyed on the client
+  id header.  Each client accrues ``rate`` tokens per second up to
+  ``burst``; a request costs one token, and an empty bucket means
+  ``429 + Retry-After``.
+
+Both are thread-safe: decisions are taken on the event loop but counters
+are also read from metric scrapes and the dispatch pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ParameterError
+
+
+class AdmissionController:
+    """Bounded in-flight request counter with load-shed accounting."""
+
+    def __init__(self, max_inflight):
+        if max_inflight < 1:
+            raise ParameterError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self._max = int(max_inflight)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._shed = 0
+
+    @property
+    def max_inflight(self):
+        return self._max
+
+    @property
+    def inflight(self):
+        with self._lock:
+            return self._inflight
+
+    @property
+    def shed_total(self):
+        with self._lock:
+            return self._shed
+
+    def try_acquire(self):
+        """Admit one request; ``False`` means shed (and is counted)."""
+        with self._lock:
+            if self._inflight >= self._max:
+                self._shed += 1
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self):
+        with self._lock:
+            if self._inflight <= 0:
+                raise ParameterError("release() without a matching acquire")
+            self._inflight -= 1
+
+
+class TokenBucket:
+    """Per-client token buckets: ``rate`` tokens/second up to ``burst``.
+
+    Buckets are created on first sight of a client id; to bound memory a
+    full bucket whose client has been idle is reclaimed once the table
+    exceeds ``max_clients`` (a full bucket carries no state worth
+    keeping -- recreating it is byte-identical).
+    """
+
+    def __init__(self, rate, burst=None, *, max_clients=4096,
+                 clock=time.monotonic):
+        if rate <= 0:
+            raise ParameterError(f"rate must be positive, got {rate}")
+        self._rate = float(rate)
+        self._burst = float(burst if burst is not None else max(rate, 1.0))
+        if self._burst < 1.0:
+            raise ParameterError(
+                f"burst must allow at least one request, got {self._burst}"
+            )
+        self._max_clients = int(max_clients)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets = {}          # client id -> [tokens, last refill]
+        self._rejected = 0
+
+    @property
+    def rate(self):
+        return self._rate
+
+    @property
+    def burst(self):
+        return self._burst
+
+    @property
+    def rejected_total(self):
+        with self._lock:
+            return self._rejected
+
+    def allow(self, client_id):
+        """Spend one token for ``client_id``; ``False`` means rate-limited."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = [self._burst, now]
+                self._buckets[client_id] = bucket
+                if len(self._buckets) > self._max_clients:
+                    self._evict_full_buckets(now)
+            tokens, last = bucket
+            tokens = min(self._burst, tokens + (now - last) * self._rate)
+            if tokens < 1.0:
+                bucket[0], bucket[1] = tokens, now
+                self._rejected += 1
+                return False
+            bucket[0], bucket[1] = tokens - 1.0, now
+            return True
+
+    def retry_after(self, client_id):
+        """Seconds until ``client_id`` will have a whole token again."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                return 0.0
+            tokens, last = bucket
+            tokens = min(self._burst, tokens + (now - last) * self._rate)
+            if tokens >= 1.0:
+                return 0.0
+            return (1.0 - tokens) / self._rate
+
+    def _evict_full_buckets(self, now):
+        full = [
+            cid for cid, (tokens, last) in self._buckets.items()
+            if min(self._burst, tokens + (now - last) * self._rate)
+            >= self._burst
+        ]
+        for cid in full:
+            del self._buckets[cid]
+
+
+def parse_deadline_ms(raw, *, default_ms, max_ms):
+    """Decode a deadline value (header or query param) into milliseconds.
+
+    ``None``/empty falls back to ``default_ms``; the result is clamped
+    to ``max_ms`` so a client cannot pin a worker arbitrarily long.
+    Non-positive values are legal and mean "already expired" (useful for
+    testing the 504 path deterministically).  Raises ``ValueError`` on
+    non-numeric input.
+    """
+    if raw is None or raw == "":
+        ms = float(default_ms)
+    else:
+        ms = float(raw)
+    return min(ms, float(max_ms))
+
+
+def deadline_from_ms(ms, *, clock=time.monotonic):
+    """Absolute ``time.monotonic()`` deadline from a millisecond budget."""
+    return clock() + ms / 1000.0

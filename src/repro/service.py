@@ -38,7 +38,9 @@ class ServiceStats:
     ``solver_calls`` counts actual solver invocations -- with
     single-flight deduplication it can be smaller than ``cache_misses``
     would suggest; ``coalesced`` counts queries that piggybacked on
-    another thread's in-flight computation (neither a hit nor a miss).
+    another thread's in-flight computation (neither a hit nor a miss);
+    ``deadline_exceeded`` counts queries cancelled cooperatively because
+    their deadline expired (see ``docs/server.md``).
     """
 
     queries: int = 0
@@ -49,6 +51,7 @@ class ServiceStats:
     invalidations: int = 0
     solver_calls: int = 0
     solver_seconds: float = 0.0
+    deadline_exceeded: int = 0
     extras: dict = field(default_factory=dict)
 
     @property

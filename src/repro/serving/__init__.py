@@ -19,10 +19,15 @@ seeds).
 """
 
 from repro.serving.cache import SingleFlightCache
-from repro.serving.engine import WORKER_NAME_PREFIX, ConcurrentQueryEngine
+from repro.serving.engine import (
+    WORKER_NAME_PREFIX,
+    BatchOutcome,
+    ConcurrentQueryEngine,
+)
 from repro.serving.epoch import EpochGate
 
 __all__ = [
+    "BatchOutcome",
     "ConcurrentQueryEngine",
     "EpochGate",
     "SingleFlightCache",

@@ -28,18 +28,39 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
 from repro.core.params import AccuracyParams
 from repro.core.resacc import resacc
-from repro.errors import ParameterError
+from repro.errors import DeadlineExceededError, ParameterError
 from repro.graph.builder import GraphBuilder
-from repro.obs.trace import QueryTrace
+from repro.obs.trace import DeadlineTrace, QueryTrace
 from repro.service import ServiceStats
 
 #: Thread-name prefix for pool workers; traces are tagged with these
 #: names, which is how per-worker aggregation groups them.
 WORKER_NAME_PREFIX = "ssrwr-worker"
+
+
+@dataclass
+class BatchOutcome:
+    """Structured result of ``query_batch(..., on_error="collect")``.
+
+    ``results`` keeps input order with ``None`` at failed positions;
+    ``errors`` maps each failing source id to a human-readable message
+    (duplicate positions of the same bad source share one entry).  The
+    HTTP batch endpoint serializes this directly, so a single bad source
+    degrades one item instead of failing the whole request.
+    """
+
+    results: list = field(default_factory=list)
+    errors: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return not self.errors
 
 
 class ConcurrentQueryEngine:
@@ -80,11 +101,16 @@ class ConcurrentQueryEngine:
         determinism is preserved: an answer is a pure function of
         ``(graph, source, accuracy, seed, walk_workers)``.  Ignored when
         a custom ``solver`` is supplied.
+    trace_capacity:
+        When set, only the most recent ``trace_capacity`` traces are
+        retained (older ones are dropped FIFO).  An always-on server
+        enables tracing with a bounded capacity so ``/metrics`` can
+        report per-phase percentiles without unbounded memory growth.
     """
 
     def __init__(self, graph, *, solver=None, accuracy=None,
                  cache_size=256, seed=0, max_workers=4, trace=False,
-                 walk_workers=1):
+                 walk_workers=1, trace_capacity=None):
         from repro.serving.cache import SingleFlightCache
         from repro.serving.epoch import EpochGate
 
@@ -95,6 +121,10 @@ class ConcurrentQueryEngine:
         if walk_workers < 1:
             raise ParameterError(
                 f"walk_workers must be >= 1, got {walk_workers}"
+            )
+        if trace_capacity is not None and trace_capacity < 1:
+            raise ParameterError(
+                f"trace_capacity must be >= 1 or None, got {trace_capacity}"
             )
         self._builder = GraphBuilder(graph=graph)
         self._graph = self._builder.build()
@@ -109,7 +139,11 @@ class ConcurrentQueryEngine:
             thread_name_prefix=WORKER_NAME_PREFIX,
         )
         self._trace_enabled = bool(trace)
-        self._traces = []
+        # Bounded retention keeps an always-on server from accumulating
+        # traces without limit; None preserves the collect-everything
+        # behaviour the bench harness relies on.
+        self._traces = ([] if trace_capacity is None
+                        else deque(maxlen=int(trace_capacity)))
         self._stats_lock = threading.Lock()
         self._walk_workers = int(walk_workers)
         self._walk_executor = None
@@ -169,25 +203,67 @@ class ConcurrentQueryEngine:
         """The current graph epoch (bumped by every effective mutation)."""
         return self._gate.epoch
 
-    def query(self, source, *, accuracy=None):
+    @property
+    def mutating(self):
+        """Whether a mutation is draining or holding the write gate.
+
+        The HTTP readiness probe flips not-ready while this is true:
+        new queries would block behind the writer.
+        """
+        return self._gate.writer_pending
+
+    def query(self, source, *, accuracy=None, deadline=None):
         """SSRWR result for ``source`` (cached, single-flighted).
 
         Safe to call from any thread; :meth:`query_batch` is this method
         fanned across the worker pool.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp.  A
+        query that cannot finish by then is cancelled cooperatively at
+        the next solver phase boundary and raises
+        :class:`repro.errors.DeadlineExceededError`, releasing the
+        worker.  A query that coalesced onto another caller's in-flight
+        computation whose (shorter) deadline fired retries with its own
+        intact budget rather than inheriting the foreign cancellation.
         """
         source = int(source)
-        with self._gate.read() as epoch:
-            graph = self._graph
-            if not 0 <= source < graph.n:
-                raise ParameterError(
-                    f"source {source} out of range for n={graph.n}"
+        if deadline is not None:
+            deadline = float(deadline)
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                with self._stats_lock:
+                    self.stats.queries += 1
+                    self.stats.deadline_exceeded += 1
+                raise DeadlineExceededError(
+                    f"deadline expired before query for source {source} "
+                    f"started"
                 )
-            effective = accuracy or self._accuracy
-            key = (source, effective)
-            result, outcome = self._cache.get_or_compute(
-                key,
-                lambda: self._compute(graph, source, effective, epoch),
-            )
+            try:
+                with self._gate.read() as epoch:
+                    graph = self._graph
+                    if not 0 <= source < graph.n:
+                        raise ParameterError(
+                            f"source {source} out of range for n={graph.n}"
+                        )
+                    effective = accuracy or self._accuracy
+                    key = (source, effective)
+                    result, outcome = self._cache.get_or_compute(
+                        key,
+                        lambda: self._compute(graph, source, effective,
+                                              epoch, deadline),
+                    )
+            except DeadlineExceededError:
+                if deadline is None or time.monotonic() < deadline:
+                    # Coalesced onto a flight owned by a caller with a
+                    # shorter deadline; the failed flight is gone, so
+                    # retrying either owns a fresh computation (with our
+                    # own deadline) or joins a healthy one.
+                    continue
+                with self._stats_lock:
+                    self.stats.queries += 1
+                    self.stats.deadline_exceeded += 1
+                raise
+            break
         with self._stats_lock:
             self.stats.queries += 1
             if outcome == "hit":
@@ -198,27 +274,78 @@ class ConcurrentQueryEngine:
                 self.stats.cache_misses += 1
         return result
 
-    def query_batch(self, sources, *, accuracy=None):
+    def query_batch(self, sources, *, accuracy=None, deadline=None,
+                    on_error="raise"):
         """Answer many sources concurrently; results in input order.
 
         Duplicate sources are answered once (single-flight + cache) and
         every duplicate position receives the shared result object.
         Must not be called from inside one of the engine's own workers.
+
+        Every source is validated against the current graph *before* any
+        work is submitted.  With ``on_error="raise"`` (the default) an
+        invalid batch raises :class:`ParameterError` naming **all** bad
+        sources and computes nothing; with ``on_error="collect"`` the
+        valid sources are answered and a :class:`BatchOutcome` reports
+        per-item failures structurally (``results`` holds ``None`` at
+        failed positions, ``errors`` maps source id to message) -- the
+        contract the HTTP batch endpoint needs for partial results.
+
+        ``deadline`` (absolute ``time.monotonic()`` timestamp) applies to
+        every item; see :meth:`query`.
         """
-        futures = [
-            self._executor.submit(self.query, source, accuracy=accuracy)
-            for source in sources
-        ]
-        return [future.result() for future in futures]
+        if on_error not in ("raise", "collect"):
+            raise ParameterError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}"
+            )
+        sources = [int(s) for s in sources]
+        with self._gate.read():
+            n = self._graph.n
+        invalid = {}
+        for s in sources:
+            if not 0 <= s < n and s not in invalid:
+                invalid[s] = f"source {s} out of range for n={n}"
+        if on_error == "raise":
+            if invalid:
+                raise ParameterError(
+                    f"query_batch rejected {len(invalid)} invalid "
+                    f"source(s) up front: "
+                    + "; ".join(invalid[s] for s in sorted(invalid))
+                )
+            futures = [
+                self._executor.submit(self.query, s, accuracy=accuracy,
+                                      deadline=deadline)
+                for s in sources
+            ]
+            return [future.result() for future in futures]
+        results = [None] * len(sources)
+        errors = dict(invalid)
+        futures = {
+            index: self._executor.submit(self.query, s, accuracy=accuracy,
+                                         deadline=deadline)
+            for index, s in enumerate(sources) if s not in invalid
+        }
+        for index, future in futures.items():
+            try:
+                results[index] = future.result()
+            except Exception as exc:
+                errors[sources[index]] = str(exc) or type(exc).__name__
+        return BatchOutcome(results=results, errors=errors)
 
-    def top_k(self, source, k, *, accuracy=None):
+    def top_k(self, source, k, *, accuracy=None, deadline=None):
         """``(nodes, values)`` of the top-k estimates for ``source``."""
-        return self.query(source, accuracy=accuracy).top_k(k)
+        return self.query(source, accuracy=accuracy,
+                          deadline=deadline).top_k(k)
 
-    def _compute(self, graph, source, accuracy, epoch):
-        trace = None
-        if self._trace_enabled:
-            trace = QueryTrace(epoch=epoch)
+    def _compute(self, graph, source, accuracy, epoch, deadline=None):
+        inner = QueryTrace(epoch=epoch) if self._trace_enabled else None
+        trace = inner
+        if deadline is not None:
+            # Cooperative cancellation rides the existing trace hooks:
+            # the proxy checks the clock at phase boundaries and raises
+            # DeadlineExceededError, freeing the worker.  Estimates are
+            # byte-identical when the run finishes in time.
+            trace = DeadlineTrace(deadline, inner)
         tic = time.perf_counter()
         if self._solver is not None:
             result = self._solver(graph, source, accuracy,
@@ -231,13 +358,17 @@ class ConcurrentQueryEngine:
                 walk_workers=self._walk_workers,
                 walk_executor=self._walk_executor_for(graph),
             )
+            if deadline is not None:
+                # Cached results carry the real trace (or None), never
+                # the one-shot deadline proxy.
+                result.trace = inner
         elapsed = time.perf_counter() - tic
         with self._stats_lock:
             self.stats.solver_seconds += elapsed
             self.stats.solver_calls += 1
-            if trace is not None:
-                self._traces.append(trace)
-                self.stats.extras["last_trace"] = trace.summary()
+            if inner is not None:
+                self._traces.append(inner)
+                self.stats.extras["last_trace"] = inner.summary()
         return result
 
     # ------------------------------------------------------------------

@@ -50,6 +50,17 @@ class EpochGate:
         with self._cond:
             return self._readers
 
+    @property
+    def writer_pending(self):
+        """Whether a writer is waiting for quiescence or holding the gate.
+
+        The serving layer's readiness probe (``GET /readyz``) reports
+        not-ready while this is true: new queries would block behind the
+        writer, so a load balancer should briefly route elsewhere.
+        """
+        with self._cond:
+            return self._writer or self._writers_waiting > 0
+
     @contextmanager
     def read(self):
         """Shared (query) access; yields the epoch observed on entry."""

@@ -42,10 +42,19 @@ def test_compare_algorithms_runs_on_small_dataset(capsys):
     assert "ResAcc" in out and "FORA" in out
 
 
+def test_http_service_runs(capsys):
+    run_example("http_service.py")
+    out = capsys.readouterr().out
+    assert "duplicates byte-identical: True" in out
+    assert "HTTP 504" in out
+    assert "repro_graph_epoch" in out
+    assert "server drained" in out
+
+
 @pytest.mark.parametrize("name", [
     "quickstart.py", "recommendation.py", "community_detection.py",
     "dynamic_graph.py", "compare_algorithms.py", "extensions.py",
-    "paper_figures.py", "query_service.py",
+    "paper_figures.py", "query_service.py", "http_service.py",
 ])
 def test_examples_compile(name):
     source = (EXAMPLES / name).read_text()

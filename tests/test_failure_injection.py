@@ -140,3 +140,133 @@ class TestDegenerateInputs:
         with pytest.raises(GraphFormatError):
             # NaN fails the >= 0 check because the comparison is False.
             from_weighted_edges(2, [(0, 1, float("nan"))])
+
+
+class TestServerRejections:
+    """Malformed HTTP traffic gets structured 4xx answers, never a 500.
+
+    One small server (tight body limit) serves the whole class; every
+    rejection must leave it healthy for the next request.
+    """
+
+    @pytest.fixture(scope="class")
+    def served(self):
+        from repro.graph import generators
+        from repro.server import ServerClient, ServerConfig, start_in_thread
+        from repro.serving import ConcurrentQueryEngine
+
+        graph = generators.preferential_attachment(60, 2, seed=3)
+        engine = ConcurrentQueryEngine(graph, seed=1, max_workers=2)
+        handle = start_in_thread(
+            engine, ServerConfig(port=0, max_body_bytes=4096)
+        )
+        client = ServerClient(base_url=handle.url)
+        yield handle, client
+        client.close()
+        handle.stop()
+
+    def _raw(self, handle, method, path, body=b"", headers=()):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                          timeout=10)
+        try:
+            conn.request(method, path, body=body, headers=dict(headers))
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def test_bad_json_body_is_400(self, served):
+        handle, _ = served
+        status, body = self._raw(handle, "POST", "/query",
+                                 body=b"{not json",
+                                 headers={"Content-Type":
+                                          "application/json"})
+        assert status == 400
+        assert b"error" in body
+
+    def test_non_object_json_is_400(self, served):
+        handle, _ = served
+        status, _ = self._raw(handle, "POST", "/query", body=b"[1, 2]")
+        assert status == 400
+
+    def test_unknown_route_is_404(self, served):
+        _, client = served
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as excinfo:
+            client.request("POST", "/no-such-endpoint", {"source": 0})
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405(self, served):
+        handle, _ = served
+        status, _ = self._raw(handle, "GET", "/query")
+        assert status == 405
+        status, _ = self._raw(handle, "POST", "/healthz")
+        assert status == 405
+
+    def test_oversized_body_is_413(self, served):
+        handle, _ = served
+        blob = b'{"source": 0, "pad": "' + b"x" * 8192 + b'"}'
+        status, _ = self._raw(handle, "POST", "/query", body=blob)
+        assert status == 413
+
+    def test_chunked_transfer_encoding_is_501(self, served):
+        handle, _ = served
+        status, _ = self._raw(
+            handle, "POST", "/query", body=b"",
+            headers={"Transfer-Encoding": "chunked"},
+        )
+        assert status == 501
+
+    def test_bad_accuracy_is_400(self, served):
+        _, client = served
+        from repro.server import ServerError
+
+        for accuracy in ({"eps": 0.5}, {"eps": "x", "delta": 0.1,
+                                        "p_f": 0.1}):
+            with pytest.raises(ServerError) as excinfo:
+                client.query(0, accuracy=accuracy)
+            assert excinfo.value.status == 400
+
+    def test_unknown_mutate_op_is_400(self, served):
+        _, client = served
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as excinfo:
+            client.request("POST", "/mutate", {"op": "explode", "u": 0})
+        assert excinfo.value.status == 400
+        assert "explode" in str(excinfo.value)
+
+    def test_missing_and_non_integer_source_are_400(self, served):
+        _, client = served
+        from repro.server import ServerError
+
+        for payload in ({}, {"source": "zero"}, {"source": True},
+                        {"source": 1.5}):
+            with pytest.raises(ServerError) as excinfo:
+                client.request("POST", "/query", payload)
+            assert excinfo.value.status == 400
+
+    def test_out_of_range_source_is_400(self, served):
+        _, client = served
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as excinfo:
+            client.query(10_000)
+        assert excinfo.value.status == 400
+        assert "out of range" in str(excinfo.value)
+
+    def test_empty_batch_is_400(self, served):
+        _, client = served
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as excinfo:
+            client.request("POST", "/query_batch", {"sources": []})
+        assert excinfo.value.status == 400
+
+    def test_server_still_healthy_after_rejections(self, served):
+        _, client = served
+        assert client.healthz() == {"status": "ok"}
+        assert client.query(0)["source"] == 0

@@ -96,6 +96,37 @@ def test_worker_count_does_not_change_answers():
                 assert np.array_equal(want, have)
 
 
+def test_http_round_trip_matches_sequential_float64():
+    """The whole network path preserves the determinism contract.
+
+    JSON encodes floats via ``repr`` (shortest round-trip string), so
+    estimates decoded from the HTTP body and re-packed as float64 must
+    be byte-identical to the sequential loop -- the acceptance bar for
+    serving over the wire.
+    """
+    from repro.server import ServerClient, ServerConfig, start_in_thread
+
+    graph = GRAPHS["ba"]()
+    accuracy = ACCURACIES["loose-delta"](graph.n)
+    sources = [0, 3, 17, 42, 3, 0, 99, 17]
+    sequential = QueryEngine(graph, accuracy=accuracy, cache_size=0,
+                             seed=9)
+    expected = [sequential.query(s) for s in sources]
+    engine = ConcurrentQueryEngine(graph, accuracy=accuracy, seed=9,
+                                   max_workers=4)
+    with start_in_thread(engine, ServerConfig(port=0)) as handle:
+        with ServerClient(base_url=handle.url) as client:
+            doc = client.query_batch(sources)
+    assert doc["errors"] == {}
+    for source, want, item in zip(sources, expected, doc["results"]):
+        assert item["source"] == source
+        got = np.asarray(item["estimates"], dtype=np.float64)
+        assert want.estimates.tobytes() == got.tobytes(), (
+            f"HTTP estimates for source {source} diverge from the "
+            f"sequential loop after the JSON round-trip"
+        )
+
+
 def test_accuracy_override_matches_sequential():
     graph = GRAPHS["ba"]()
     tight = AccuracyParams(eps=0.25, delta=5.0 / graph.n,
