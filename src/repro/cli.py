@@ -62,7 +62,12 @@ def build_parser():
     serve_cmd.add_argument("--repeat", type=int, default=3,
                            help="requests per source (hot workload)")
     serve_cmd.add_argument("--workers", type=int, default=4,
-                           help="thread-pool width")
+                           help="worker-pool width (threads for "
+                                "--engine threads, solver processes "
+                                "for --engine multiproc)")
+    serve_cmd.add_argument("--engine", choices=("threads", "multiproc"),
+                           default="threads",
+                           help="serving engine answering the batch")
     serve_cmd.add_argument("--scale", type=float, default=1.0,
                            help="dataset scale factor")
     serve_cmd.add_argument("--seed", type=int, default=0)
@@ -74,6 +79,11 @@ def build_parser():
     serve_cmd.add_argument("--min-speedup", type=float, default=None,
                            help="exit non-zero unless batch speedup vs. "
                                 "the sequential loop reaches this")
+    serve_cmd.add_argument("--min-unique-speedup", type=float, default=None,
+                           help="exit non-zero unless the unique-source "
+                                "(cache-cold) speedup reaches this -- the "
+                                "parallelism-only gate for --engine "
+                                "multiproc")
     http_cmd = sub.add_parser(
         "serve-http",
         help="benchmark the HTTP service end to end over loopback",
@@ -290,6 +300,7 @@ def _run_serve_batch(args):
         doc = serving_benchmark(
             graph, num_unique=args.sources, repeat=args.repeat,
             num_workers=args.workers, accuracy=accuracy, seed=args.seed,
+            engine=args.engine,
         )
     except ParameterError as exc:
         print(str(exc), file=sys.stderr)
@@ -298,7 +309,7 @@ def _run_serve_batch(args):
     print(f"{args.dataset} (n={graph.n}, m={graph.m})  "
           f"{workload['requests']} requests over "
           f"{workload['unique_sources']} sources, "
-          f"{doc['workers']} workers")
+          f"{doc['workers']} {doc['engine']} workers")
     print(f"  sequential loop    {doc['sequential_loop_seconds']:8.3f} s")
     print(f"  sequential cached  {doc['sequential_cached_seconds']:8.3f} s")
     print(f"  query_batch        {doc['batch_seconds']:8.3f} s  "
@@ -324,6 +335,12 @@ def _run_serve_batch(args):
     if args.min_speedup is not None and doc["speedup"] < args.min_speedup:
         print(f"speedup {doc['speedup']:.2f}x below required "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    unique_speedup = doc["unique_workload"]["speedup"]
+    if (args.min_unique_speedup is not None
+            and unique_speedup < args.min_unique_speedup):
+        print(f"unique-source speedup {unique_speedup:.2f}x below required "
+              f"{args.min_unique_speedup:.2f}x", file=sys.stderr)
         return 1
     return 0
 

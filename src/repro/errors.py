@@ -36,3 +36,12 @@ class DeadlineExceededError(ReproError):
     Cooperative: the solver pipeline checks the deadline at phase
     boundaries (via :class:`repro.obs.DeadlineTrace`), so the worker is
     released at the next boundary rather than killed mid-kernel."""
+
+
+class WorkerCrashError(ReproError):
+    """Raised when a solver worker process died and retries are exhausted.
+
+    The multi-process engine (:mod:`repro.serving.multiproc`) respawns
+    its pool after a crash and retries the affected query; this error is
+    the loud failure mode when the respawned pool crashes again -- a
+    query never hangs on a dead worker."""

@@ -631,11 +631,24 @@ def build_parser():
     parser.add_argument("--scale", type=float, default=1.0,
                         help="dataset scale factor")
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--port", type=int, default=8080,
+                        help="listen port; 0 binds an ephemeral port and "
+                             "prints the bound one on stdout")
+    parser.add_argument("--engine", choices=("threads", "multiproc"),
+                        default="threads",
+                        help="serving engine: 'threads' shares one "
+                             "in-process engine, 'multiproc' dispatches "
+                             "to solver worker processes over a "
+                             "shared-memory graph (docs/multiprocess.md)")
     parser.add_argument("--workers", type=int, default=4,
-                        help="engine thread-pool width")
+                        help="engine thread-pool width (dispatch threads "
+                             "for --engine multiproc)")
+    parser.add_argument("--solver-workers", type=int, default=4,
+                        help="solver worker processes "
+                             "(--engine multiproc only)")
     parser.add_argument("--walk-workers", type=int, default=1,
-                        help="process-parallel remedy walks per query")
+                        help="process-parallel remedy walks per query "
+                             "(--engine threads only)")
     parser.add_argument("--cache-size", type=int, default=256)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-inflight", type=int, default=64,
@@ -655,7 +668,7 @@ def build_parser():
 
 def main(argv=None):
     from repro.datasets import catalog
-    from repro.serving import ConcurrentQueryEngine
+    from repro.serving import ConcurrentQueryEngine, MultiProcessQueryEngine
 
     args = build_parser().parse_args(argv)
     try:
@@ -663,11 +676,23 @@ def main(argv=None):
     except ParameterError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    engine = ConcurrentQueryEngine(
-        graph, max_workers=args.workers, walk_workers=args.walk_workers,
-        cache_size=args.cache_size, seed=args.seed, trace=args.trace,
-        trace_capacity=512 if args.trace else None,
-    )
+    if args.engine == "multiproc":
+        engine = MultiProcessQueryEngine(
+            graph, solver_workers=args.solver_workers,
+            dispatch_workers=args.workers, cache_size=args.cache_size,
+            seed=args.seed, trace=args.trace,
+            trace_capacity=512 if args.trace else None,
+        )
+        # Spawn + import the solver stack now so the first request does
+        # not pay pool startup.
+        engine.warm_up()
+    else:
+        engine = ConcurrentQueryEngine(
+            graph, max_workers=args.workers,
+            walk_workers=args.walk_workers, cache_size=args.cache_size,
+            seed=args.seed, trace=args.trace,
+            trace_capacity=512 if args.trace else None,
+        )
     config = ServerConfig(
         host=args.host, port=args.port, max_inflight=args.max_inflight,
         rate_limit=args.rate_limit, rate_burst=args.rate_burst,
@@ -679,7 +704,10 @@ def main(argv=None):
     async def _amain():
         await server.start()
         server.install_signal_handlers()
+        # Machine-parseable bind line: with --port 0 the kernel picks
+        # the port, so scripts read it from here (see the CI smoke step).
         print(f"repro-serve: listening on {server.url} "
+              f"port={server.port} engine={args.engine} "
               f"(dataset={args.dataset}, n={graph.n}, m={graph.m})",
               flush=True)
         await server.run_until_shutdown()

@@ -201,6 +201,10 @@ def _engine_families(engine):
         {"name": "repro_engine_solver_seconds_total", "type": "counter",
          "help": "Wall seconds spent inside the solver.",
          "samples": [("", None, stats.solver_seconds)]},
+        {"name": "repro_engine_worker_restarts_total", "type": "counter",
+         "help": "Solver-pool respawns after a worker process crash "
+                 "(multi-process engine only).",
+         "samples": [("", None, stats.worker_restarts)]},
         {"name": "repro_engine_updates_total", "type": "counter",
          "help": "Graph mutations applied by the engine.",
          "samples": [("", None, stats.updates)]},

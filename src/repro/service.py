@@ -40,7 +40,10 @@ class ServiceStats:
     would suggest; ``coalesced`` counts queries that piggybacked on
     another thread's in-flight computation (neither a hit nor a miss);
     ``deadline_exceeded`` counts queries cancelled cooperatively because
-    their deadline expired (see ``docs/server.md``).
+    their deadline expired (see ``docs/server.md``);
+    ``worker_restarts`` counts solver-pool respawns after a worker
+    process crashed (only the multi-process engine in
+    :mod:`repro.serving.multiproc` can increment it).
     """
 
     queries: int = 0
@@ -52,6 +55,7 @@ class ServiceStats:
     solver_calls: int = 0
     solver_seconds: float = 0.0
     deadline_exceeded: int = 0
+    worker_restarts: int = 0
     extras: dict = field(default_factory=dict)
 
     @property

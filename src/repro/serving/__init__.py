@@ -11,11 +11,15 @@ pieces:
   invalidation;
 * :mod:`repro.serving.engine` -- :class:`ConcurrentQueryEngine`, the
   thread-pooled service that composes the two behind the familiar
-  ``query`` / ``query_batch`` / ``add_edge`` surface.
+  ``query`` / ``query_batch`` / ``add_edge`` surface;
+* :mod:`repro.serving.multiproc` -- :class:`MultiProcessQueryEngine`,
+  the same contract dispatched across solver worker *processes* that
+  map one shared-memory graph snapshot (breaks the GIL ceiling on
+  cache-cold workloads; see ``docs/multiprocess.md``).
 
 See ``docs/serving.md`` for the design and the determinism contract
 (batched results are byte-identical to a sequential loop for fixed
-seeds).
+seeds -- both engines).
 """
 
 from repro.serving.cache import SingleFlightCache
@@ -25,11 +29,13 @@ from repro.serving.engine import (
     ConcurrentQueryEngine,
 )
 from repro.serving.epoch import EpochGate
+from repro.serving.multiproc import MultiProcessQueryEngine
 
 __all__ = [
     "BatchOutcome",
     "ConcurrentQueryEngine",
     "EpochGate",
+    "MultiProcessQueryEngine",
     "SingleFlightCache",
     "WORKER_NAME_PREFIX",
 ]

@@ -362,14 +362,18 @@ class ConcurrentQueryEngine:
                 # Cached results carry the real trace (or None), never
                 # the one-shot deadline proxy.
                 result.trace = inner
-        elapsed = time.perf_counter() - tic
+        self._record_solver_run(inner, time.perf_counter() - tic)
+        return result
+
+    def _record_solver_run(self, trace, elapsed):
+        """Account one finished solver invocation (shared with the
+        multi-process engine, whose solves run in another process)."""
         with self._stats_lock:
             self.stats.solver_seconds += elapsed
             self.stats.solver_calls += 1
-            if inner is not None:
-                self._traces.append(inner)
-                self.stats.extras["last_trace"] = inner.summary()
-        return result
+            if trace is not None:
+                self._traces.append(trace)
+                self.stats.extras["last_trace"] = trace.summary()
 
     # ------------------------------------------------------------------
     # Updates (quiesce queries, bump the epoch, invalidate atomically)

@@ -119,13 +119,23 @@ class SharedCSRGraph:
 
 # ----------------------------------------------------------------------
 # Worker side.  One attachment per (process, graph); the blocks stay
-# referenced until the pool shuts the process down.
+# referenced until the pool shuts the process down.  Two consumers share
+# the same blocks: the walk kernels want the minimal ``_GraphView``, the
+# multi-process query engine (:mod:`repro.serving.multiproc`) wants a
+# full :class:`repro.graph.CSRGraph` so every solver phase (pushes, hop
+# structure, walks) runs against the shared pages without a copy.
 # ----------------------------------------------------------------------
-_ATTACHED = {}
+_ATTACHED = {}        # handle key -> (views dict, shm blocks)
+_VIEW_CACHE = {}      # handle key -> _GraphView (walk kernels)
+_GRAPH_CACHE = {}     # handle key -> CSRGraph (full solver surface)
 
 
-def _attach(handle):
-    key = tuple(spec[0] for spec in handle["arrays"].values())
+def _handle_key(handle):
+    return tuple(spec[0] for spec in handle["arrays"].values())
+
+
+def _attach_views(handle):
+    key = _handle_key(handle)
     cached = _ATTACHED.get(key)
     if cached is not None:
         return cached[0]
@@ -136,10 +146,45 @@ def _attach(handle):
         blocks.append(shm)
         views[name] = np.ndarray(tuple(shape), dtype=np.dtype(dtype),
                                  buffer=shm.buf)
-    view = _GraphView(handle["n"], views["indptr"], views["indices"],
-                      views["out_degrees"], handle["dangling"])
-    _ATTACHED[key] = (view, blocks)
+    _ATTACHED[key] = (views, blocks)
+    return views
+
+
+def _attach(handle):
+    key = _handle_key(handle)
+    view = _VIEW_CACHE.get(key)
+    if view is None:
+        views = _attach_views(handle)
+        view = _GraphView(handle["n"], views["indptr"], views["indices"],
+                          views["out_degrees"], handle["dangling"])
+        _VIEW_CACHE[key] = view
     return view
+
+
+def attach_csr_graph(handle):
+    """A full worker-side :class:`repro.graph.CSRGraph` over the shared
+    pages (zero-copy, cached per process).
+
+    The CSR arrays come straight out of shared memory: ``ascontiguousarray``
+    on an already-contiguous ``int64`` view returns the view itself, so
+    no bytes are copied and the worker's graph is the *same* snapshot the
+    dispatcher exported.  Validation is skipped -- the creating process
+    validated the graph before exporting it.  Derived per-snapshot state
+    (out-degree cache, reverse adjacency, push caches) materializes
+    lazily inside the worker and is cached here together with the graph,
+    so repeated solves against one snapshot pay for it once.
+    """
+    key = _handle_key(handle)
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None:
+        from repro.graph.csr import CSRGraph
+
+        views = _attach_views(handle)
+        graph = CSRGraph(handle["n"], views["indptr"], views["indices"],
+                         dangling=handle["dangling"], validate=False)
+        graph._out_degrees = views["out_degrees"]
+        _GRAPH_CACHE[key] = graph
+    return graph
 
 
 def _detach_all():
@@ -150,6 +195,8 @@ def _detach_all():
             except Exception:
                 pass
     _ATTACHED.clear()
+    _VIEW_CACHE.clear()
+    _GRAPH_CACHE.clear()
 
 
 atexit.register(_detach_all)
