@@ -32,6 +32,7 @@ KNOWN_METRICS = {
     "repro-http-bench": ("qps",),
     "repro-walks-bench": ("speedup",),
     "repro-push-bench": ("speedup",),
+    "repro-topk-bench": ("speedup",),
 }
 
 

@@ -7,6 +7,7 @@ from repro.bench.harness import (
     HTTP_BENCH_KIND,
     PUSH_BENCH_KIND,
     SERVING_BENCH_KIND,
+    TOPK_BENCH_KIND,
     BenchConfig,
     GroundTruthCache,
     SolverRun,
@@ -17,6 +18,7 @@ from repro.bench.harness import (
     serving_benchmark,
     suite_traces,
     timed,
+    topk_benchmark,
     traced_solver,
     truths_for,
 )
@@ -38,6 +40,7 @@ __all__ = [
     "SERVING_BENCH_KIND",
     "Series",
     "SolverRun",
+    "TOPK_BENCH_KIND",
     "Table",
     "export_suite_traces",
     "http_benchmark",
@@ -47,6 +50,7 @@ __all__ = [
     "serving_benchmark",
     "suite_traces",
     "timed",
+    "topk_benchmark",
     "traced_solver",
     "truths_for",
 ]

@@ -799,3 +799,108 @@ def http_benchmark(graph, *, num_unique=8, repeat=4, concurrency=4,
         "server_metrics": metrics_snapshot,
         "engine_stats": engine_stats,
     }
+
+
+#: File-format marker written by :func:`topk_benchmark` consumers
+#: (``repro-bench topk --json``).
+TOPK_BENCH_KIND = "repro-topk-bench"
+
+
+def topk_benchmark(graph, *, k=4, num_sources=20, eps=0.05, seed=0,
+                   guard_factor=1.0, delta_scale=1.0):
+    """Top-k fast path vs. the full ResAcc solve, honestly costed.
+
+    For ``num_sources`` deterministic random sources the benchmark
+    times two ways of answering "which ``k`` nodes have the largest
+    RWR score from ``s``":
+
+    * ``full`` -- :func:`repro.core.resacc.resacc` to the full
+      ``(eps, delta)`` guarantee, then ``result.top_k(k)``;
+    * ``fast`` -- :func:`repro.core.topk_solver.answer_top_k` in
+      ``auto`` mode.  When the early-terminating solver fails to
+      separate the top-k set it *falls back to the full solve*, and
+      that fallback cost is charged to the fast path -- the reported
+      speedup is the end-to-end ratio a caller actually sees.
+
+    Correctness gate: on every source where the fast path certified
+    separation (``separated=True``) the returned node *set* must
+    exactly equal the full solve's top-k set (``agreement``).  Both
+    paths share the library tie-break contract
+    (:func:`repro.core.result.top_k_order`), so the comparison is
+    well-defined even with ties.
+
+    ``eps`` defaults to 0.05 rather than the paper's 0.5: the fast
+    path's certification cost depends on the score *gap*, not on
+    ``eps``, while the full solve pays ``~1/eps**2`` -- at the paper
+    default the true gaps sit below the full solve's own noise floor
+    and neither path can do better (see docs/topk.md).
+
+    Returns a JSON-safe dict (``kind = "repro-topk-bench"``).
+    """
+    from repro.core.resacc import resacc
+    from repro.core.topk_solver import answer_top_k
+
+    accuracy = AccuracyParams.paper_defaults(
+        graph.n, eps=eps, delta_scale=delta_scale
+    )
+    sources = [int(s) for s in random_seeds(graph, num_sources, seed=seed)]
+
+    per_source = []
+    disagreements = []
+    full_total = 0.0
+    fast_total = 0.0
+    separated_count = 0
+    fallback_count = 0
+    for source in sources:
+        result, full_seconds = timed(
+            resacc, graph, source, accuracy=accuracy, seed=seed + source,
+        )
+        full_nodes, _ = result.top_k(k)
+        answer, fast_seconds = timed(
+            answer_top_k, graph, source, k, accuracy=accuracy,
+            seed=seed + source, guard_factor=guard_factor, mode="auto",
+        )
+        full_total += full_seconds
+        fast_total += fast_seconds
+        agree = set(int(n) for n in answer.nodes) == \
+            set(int(n) for n in full_nodes)
+        if answer.separated:
+            separated_count += 1
+            if not agree:
+                disagreements.append(int(source))
+        else:
+            fallback_count += 1
+        per_source.append({
+            "source": int(source),
+            "full_seconds": full_seconds,
+            "fast_seconds": fast_seconds,
+            "separated": bool(answer.separated),
+            "path": answer.path,
+            "walks_used": int(answer.walks_used),
+            "pushes": int(answer.pushes),
+            "rounds": int(answer.rounds),
+            "agree": bool(agree),
+        })
+
+    return {
+        "kind": TOPK_BENCH_KIND,
+        "graph": {"n": graph.n, "m": graph.m},
+        "k": int(k),
+        "accuracy": {"eps": accuracy.eps, "delta": accuracy.delta,
+                     "p_f": accuracy.p_f},
+        "guard_factor": float(guard_factor),
+        "workload": {
+            "sources": sources,
+            "num_sources": len(sources),
+            "seed": seed,
+        },
+        "per_source": per_source,
+        "full_seconds": full_total,
+        "fast_seconds": fast_total,
+        "speedup": (full_total / fast_total
+                    if fast_total > 0 else float("inf")),
+        "separated_count": separated_count,
+        "fallback_count": fallback_count,
+        "disagreements": disagreements,
+        "agreement": not disagreements,
+    }

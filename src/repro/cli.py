@@ -157,6 +157,35 @@ def build_parser():
     push_cmd.add_argument("--min-speedup", type=float, default=None,
                           help="exit non-zero unless the end-to-end "
                                "hhop+omfwd speedup reaches this")
+    topk_cmd = sub.add_parser(
+        "topk",
+        help="benchmark the early-terminating top-k fast path vs. the "
+             "full solve",
+    )
+    topk_cmd.add_argument("dataset", help="dataset name from the catalog")
+    topk_cmd.add_argument("--k", type=int, default=4,
+                          help="top-k set size (small k separates fastest)")
+    topk_cmd.add_argument("--sources", type=int, default=20,
+                          help="number of deterministic random sources")
+    topk_cmd.add_argument("--eps", type=float, default=0.05,
+                          help="relative accuracy of the full-solve "
+                               "baseline (the fast path certifies the "
+                               "same set; see docs/topk.md)")
+    topk_cmd.add_argument("--guard-factor", type=float, default=1.0,
+                          help="separation guard as a multiple of the "
+                               "full solve's own noise floor")
+    topk_cmd.add_argument("--scale", type=float, default=1.0,
+                          help="dataset scale factor")
+    topk_cmd.add_argument("--seed", type=int, default=0)
+    topk_cmd.add_argument("--delta-scale", type=float, default=1.0,
+                          help="relax delta to this multiple of 1/n")
+    topk_cmd.add_argument("--json", metavar="PATH", default=None,
+                          help="write the benchmark document "
+                               "(e.g. BENCH_topk.json)")
+    topk_cmd.add_argument("--min-speedup", type=float, default=None,
+                          help="exit non-zero unless the end-to-end "
+                               "fast-path speedup (fallbacks charged) "
+                               "reaches this")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment",
                      help="experiment id from 'list', or 'all'")
@@ -209,6 +238,8 @@ def main(argv=None):
         return _run_walks_bench(args)
     if args.command == "push":
         return _run_push_bench(args)
+    if args.command == "topk":
+        return _run_topk_bench(args)
     if args.command == "compare":
         from repro.bench.compare import compare_files
 
@@ -498,6 +529,55 @@ def _run_push_bench(args):
         return 1
     if not doc["mass_conserved"]:
         print("reserve + residue mass drifted from 1", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and doc["speedup"] < args.min_speedup:
+        print(f"speedup {doc['speedup']:.2f}x below required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_topk_bench(args):
+    import json
+
+    from repro.bench.harness import topk_benchmark
+    from repro.datasets import catalog
+    from repro.errors import ParameterError
+
+    try:
+        graph = catalog.load(args.dataset, scale=args.scale)
+        doc = topk_benchmark(
+            graph, k=args.k, num_sources=args.sources, eps=args.eps,
+            seed=args.seed, guard_factor=args.guard_factor,
+            delta_scale=args.delta_scale,
+        )
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    workload = doc["workload"]
+    print(f"{args.dataset} (n={graph.n}, m={graph.m})  k={doc['k']}, "
+          f"{workload['num_sources']} sources, "
+          f"eps={doc['accuracy']['eps']:g}, "
+          f"guard_factor={doc['guard_factor']:g}")
+    print(f"  full solve         {doc['full_seconds']:8.3f} s")
+    print(f"  fast path          {doc['fast_seconds']:8.3f} s  "
+          f"({doc['speedup']:.2f}x, fallbacks charged)")
+    print(f"  separated: {doc['separated_count']}/"
+          f"{workload['num_sources']}  "
+          f"(fallbacks: {doc['fallback_count']})")
+    print(f"  separated sets match full solve: {doc['agreement']}")
+    if args.json:
+        from pathlib import Path
+
+        from repro.obs.export import _json_safe
+
+        path = Path(args.json)
+        path.write_text(json.dumps(_json_safe(doc), indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"  written to {path}")
+    if not doc["agreement"]:
+        print(f"separated top-k sets diverge from the full solve on "
+              f"sources {doc['disagreements']}", file=sys.stderr)
         return 1
     if args.min_speedup is not None and doc["speedup"] < args.min_speedup:
         print(f"speedup {doc['speedup']:.2f}x below required "

@@ -15,9 +15,14 @@ from repro.core.params import (
 )
 from repro.core.remedy import RemedyOutcome, remedy
 from repro.core.resacc import resacc
-from repro.core.result import SSRWRResult
+from repro.core.result import SSRWRResult, top_k_order
 from repro.core.serialize import load_result, save_result
 from repro.core.topk import TopKResult, topk_certified, topk_ssrwr
+from repro.core.topk_solver import (
+    TopKAnswer,
+    answer_top_k,
+    topk_solve,
+)
 from repro.core.variants import (
     no_loop_resacc,
     no_ofd_resacc,
@@ -31,7 +36,9 @@ __all__ = [
     "RemedyOutcome",
     "ResAccParams",
     "SSRWRResult",
+    "TopKAnswer",
     "TopKResult",
+    "answer_top_k",
     "exact_ppr",
     "fora_r_max",
     "h_hop_forward",
@@ -48,6 +55,8 @@ __all__ = [
     "resacc",
     "residue_sum",
     "save_result",
+    "top_k_order",
     "topk_certified",
+    "topk_solve",
     "topk_ssrwr",
 ]

@@ -7,6 +7,23 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
+def top_k_order(estimates, k):
+    """Ids of the ``k`` largest entries, descending, ties by node id.
+
+    This is the library-wide top-k ordering contract: equal scores are
+    broken by **ascending node id** (a stable sort on the negated
+    estimates preserves index order within each tied group), so a top-k
+    answer is byte-stable across runs, worker threads/processes and
+    engines whenever the estimate vector is.  Every consumer --
+    :meth:`SSRWRResult.top_k`, :func:`repro.core.topk.topk_ssrwr`, the
+    dedicated solver in :mod:`repro.core.topk_solver` -- must order
+    through this helper rather than sorting ad hoc.
+    """
+    estimates = np.asarray(estimates)
+    k = min(int(k), estimates.shape[0])
+    return np.argsort(-estimates, kind="stable")[:k]
+
+
 @dataclass
 class SSRWRResult:
     """Estimated RWR values of all nodes with respect to one source.
@@ -51,9 +68,13 @@ class SSRWRResult:
         return float(sum(self.phase_seconds.values()))
 
     def top_k(self, k):
-        """``(nodes, values)`` of the k largest estimates, descending."""
-        k = min(int(k), self.estimates.shape[0])
-        order = np.argsort(-self.estimates, kind="stable")[:k]
+        """``(nodes, values)`` of the k largest estimates, descending.
+
+        Equal scores are broken by ascending node id (see
+        :func:`top_k_order`), so the returned arrays are byte-stable
+        across runs and engines for a byte-identical estimate vector.
+        """
+        order = top_k_order(self.estimates, k)
         return order, self.estimates[order]
 
     def value(self, t):

@@ -18,9 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.resacc import resacc
+from repro.core.result import top_k_order
 from repro.errors import ParameterError
 
 
@@ -65,7 +64,8 @@ def topk_ssrwr(graph, source, k, *, solver=None, eps=0.5, **solver_kwargs):
     result = solver(graph, source, **solver_kwargs)
     estimates = result.estimates
     k_eff = min(int(k), graph.n)
-    order = np.argsort(-estimates, kind="stable")
+    # Shared ordering contract: ties break by ascending node id.
+    order = top_k_order(estimates, min(k_eff + 1, graph.n))
     nodes = order[:k_eff]
     values = estimates[nodes]
     if k_eff < graph.n and values[-1] > 0:

@@ -27,6 +27,7 @@ See ``docs/server.md`` for the wire reference.
 from __future__ import annotations
 
 import asyncio
+import math
 import signal
 import sys
 import threading
@@ -48,6 +49,15 @@ from repro.server.protocol import ProtocolError, json_body, render_response
 
 #: Endpoints that bypass admission control and rate limiting.
 CONTROL_ENDPOINTS = frozenset({"/healthz", "/readyz", "/metrics"})
+
+
+def _finite_or_none(value):
+    """JSON-safe float: ``None`` for ``None``/NaN/inf (json.dumps would
+    emit ``Infinity``, which is not valid JSON)."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
 
 
 @dataclass
@@ -467,18 +477,36 @@ class SSRWRServer:
         k = self._int_field(payload, "k")
         if k < 1:
             raise ProtocolError(400, "'k' must be >= 1")
+        mode = payload.get("mode", "auto")
+        if mode not in ("auto", "fast", "full"):
+            raise ProtocolError(
+                400, f"mode must be auto | fast | full, got {mode!r}"
+            )
         accuracy = self._accuracy_from(payload)
         deadline = self._deadline_for(request)
-        nodes, values = await self._in_pool(
+        answer = await self._in_pool(
             lambda: self._engine.top_k(source, k, accuracy=accuracy,
-                                       deadline=deadline)
+                                       deadline=deadline, mode=mode)
         )
+        self.metrics.observe_top_k(answer.path)
+        # bound_gap / bound_width are None on the full path; emit JSON
+        # null rather than NaN (which json would not round-trip).
         doc = {
             "source": source,
             "k": int(k),
             "epoch": self._engine.epoch,
-            "nodes": [int(v) for v in nodes],
-            "values": [float(v) for v in values],
+            "nodes": [int(v) for v in answer.nodes],
+            "values": [float(v) for v in answer.values],
+            #: which solver produced the scores: "topk" means the
+            #: early-terminating fast path certified the set, "full"
+            #: means the full solve answered (fast path not separated,
+            #: forced mode, or custom solver).
+            "path": answer.path,
+            "separated": bool(answer.separated),
+            "bound_gap": _finite_or_none(answer.bound_gap),
+            "bound_width": _finite_or_none(answer.bound_width),
+            "walks_used": int(answer.walks_used),
+            "pushes": int(answer.pushes),
         }
         return 200, json_body(doc), None, "application/json"
 

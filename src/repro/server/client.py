@@ -150,10 +150,16 @@ class ServerClient:
         return self.request("POST", "/query_batch", payload,
                             deadline_ms=deadline_ms)
 
-    def top_k(self, source, k, *, accuracy=None, deadline_ms=None):
+    def top_k(self, source, k, *, accuracy=None, deadline_ms=None,
+              mode=None):
+        """``mode`` (``"auto"``/``"fast"``/``"full"``) picks the solver
+        path; the response's ``path``/``separated`` fields report which
+        one actually answered (see docs/topk.md)."""
         payload = {"source": int(source), "k": int(k)}
         if accuracy is not None:
             payload["accuracy"] = _accuracy_payload(accuracy)
+        if mode is not None:
+            payload["mode"] = str(mode)
         return self.request("POST", "/top_k", payload,
                             deadline_ms=deadline_ms)
 

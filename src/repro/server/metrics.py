@@ -67,6 +67,8 @@ class ServerMetrics:
         self.rate_limited_total = 0
         self.deadline_exceeded_total = 0
         self.mutations_total = 0
+        self.topk_fast_total = 0
+        self.topk_full_total = 0
 
     def observe_request(self, endpoint, status, seconds):
         """Record one finished request (any endpoint, any status)."""
@@ -86,6 +88,16 @@ class ServerMetrics:
     def observe_mutation(self):
         with self._lock:
             self.mutations_total += 1
+
+    def observe_top_k(self, path):
+        """Record which solver path answered a ``/top_k`` request
+        (``"topk"`` = early-terminated fast path, ``"full"`` = full
+        solve; cache hits count the path of the cached answer)."""
+        with self._lock:
+            if path == "topk":
+                self.topk_fast_total += 1
+            else:
+                self.topk_full_total += 1
 
     def snapshot(self):
         """JSON-safe copy of the server-side counters (for tests/bench)."""
@@ -107,6 +119,8 @@ class ServerMetrics:
                 "rate_limited_total": self.rate_limited_total,
                 "deadline_exceeded_total": self.deadline_exceeded_total,
                 "mutations_total": self.mutations_total,
+                "topk_fast_total": self.topk_fast_total,
+                "topk_full_total": self.topk_full_total,
             }
 
     # ------------------------------------------------------------------
@@ -127,6 +141,8 @@ class ServerMetrics:
             limited = self.rate_limited_total
             deadline_http = self.deadline_exceeded_total
             mutations = self.mutations_total
+            topk_paths = [("", {"path": "topk"}, self.topk_fast_total),
+                          ("", {"path": "full"}, self.topk_full_total)]
 
         latency_samples = [
             ("", {"quantile": f"{q:g}"}, seconds)
@@ -155,6 +171,10 @@ class ServerMetrics:
             {"name": "repro_http_mutations_total", "type": "counter",
              "help": "Successful graph mutations applied over HTTP.",
              "samples": [("", None, mutations)]},
+            {"name": "repro_http_top_k_answers_total", "type": "counter",
+             "help": "/top_k answers by solver path (topk = fast path "
+                     "certified the set, full = full solve).",
+             "samples": topk_paths},
             {"name": "repro_http_inflight", "type": "gauge",
              "help": "Requests admitted and not yet answered.",
              "samples": [("", None, inflight)]},
@@ -205,6 +225,15 @@ def _engine_families(engine):
          "help": "Solver-pool respawns after a worker process crash "
                  "(multi-process engine only).",
          "samples": [("", None, stats.worker_restarts)]},
+        {"name": "repro_engine_topk_queries_total", "type": "counter",
+         "help": "Top-k queries answered (cache hits included).",
+         "samples": [("", None, stats.topk_queries)]},
+        {"name": "repro_engine_topk_fast_total", "type": "counter",
+         "help": "Top-k misses answered by the early-terminating solver.",
+         "samples": [("", None, stats.topk_fast)]},
+        {"name": "repro_engine_topk_fallback_total", "type": "counter",
+         "help": "Top-k misses that fell back to the full solve.",
+         "samples": [("", None, stats.topk_fallback)]},
         {"name": "repro_engine_updates_total", "type": "counter",
          "help": "Graph mutations applied by the engine.",
          "samples": [("", None, stats.updates)]},

@@ -56,6 +56,12 @@ class ServiceStats:
     solver_seconds: float = 0.0
     deadline_exceeded: int = 0
     worker_restarts: int = 0
+    #: top-k queries answered (cache hits included), and how the misses
+    #: were computed: ``topk_fast`` counts early-terminated (separated)
+    #: answers, ``topk_fallback`` full-solve answers (see docs/topk.md).
+    topk_queries: int = 0
+    topk_fast: int = 0
+    topk_fallback: int = 0
     extras: dict = field(default_factory=dict)
 
     @property
@@ -198,9 +204,72 @@ class QueryEngine:
                 self._cache.popitem(last=False)
         return result
 
-    def top_k(self, source, k, *, accuracy=None):
-        """``(nodes, values)`` of the top-k estimates for ``source``."""
-        return self.query(source, accuracy=accuracy).top_k(k)
+    def top_k(self, source, k, *, accuracy=None, mode="auto"):
+        """Top-k answer for ``source`` (cached separately from full
+        queries).
+
+        Returns a :class:`repro.core.TopKAnswer`; existing
+        ``nodes, values = engine.top_k(...)`` call sites keep working
+        because the answer iterates as that pair.  ``mode="auto"`` runs
+        the early-terminating solver of :mod:`repro.core.topk_solver`
+        and falls back to the full solve when the set cannot be
+        certified; ``"fast"`` / ``"full"`` force one path.  With a
+        custom ``solver`` the engine cannot run the fast path and always
+        answers from :meth:`query` (``path="full"``).
+
+        The cache key is ``(source, accuracy, k, mode)``: a fast-path
+        answer for one ``k`` is never reused for another (its bounds
+        certify only that set), and forced-mode answers never shadow
+        ``"auto"`` ones.
+        """
+        from repro.core.topk_solver import answer_from_result, answer_top_k
+
+        source = int(source)
+        k = int(k)
+        if not 0 <= source < self.graph.n:
+            raise ParameterError(
+                f"source {source} out of range for n={self.graph.n}"
+            )
+        if self._custom_solver is not None or mode == "full":
+            # No fast path possible/requested: answer from the (shared,
+            # cached) full query so repeated mixed workloads reuse it.
+            self.stats.topk_queries += 1
+            answer = answer_from_result(self.query(
+                source, accuracy=accuracy), k)
+            self.stats.topk_fallback += 1
+            return answer
+        effective = accuracy or self._accuracy
+        key = ("topk", source, effective, k, mode)
+        self.stats.queries += 1
+        self.stats.topk_queries += 1
+        if key in self._cache:
+            self.stats.cache_hits += 1
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        self.stats.cache_misses += 1
+        graph = self.graph
+        trace = QueryTrace() if self._trace_enabled else None
+        tic = time.perf_counter()
+        answer = answer_top_k(
+            graph, source, k,
+            accuracy=effective or AccuracyParams.paper_defaults(graph.n),
+            seed=self._seed + source, mode=mode, trace=trace,
+            walk_workers=self._walk_workers,
+            walk_executor=self._walk_executor_for(graph),
+        )
+        self.stats.solver_seconds += time.perf_counter() - tic
+        self.stats.solver_calls += 1
+        if answer.path == "topk":
+            self.stats.topk_fast += 1
+        else:
+            self.stats.topk_fallback += 1
+        if trace is not None:
+            self.stats.extras["last_trace"] = trace.summary()
+        if self._cache_size:
+            self._cache[key] = answer
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return answer
 
     @property
     def last_trace(self):

@@ -226,6 +226,23 @@ class ConcurrentQueryEngine:
         computation whose (shorter) deadline fired retries with its own
         intact budget rather than inheriting the foreign cancellation.
         """
+        def build(graph, epoch):
+            effective = accuracy or self._accuracy
+            return ((int(source), effective),
+                    lambda: self._compute(graph, int(source), effective,
+                                          epoch, deadline))
+
+        return self._serve(source, deadline, build)
+
+    def _serve(self, source, deadline, build, *, topk=False):
+        """The shared serving loop: deadline pre-check, epoch-gated
+        cache lookup with single-flight dedup, coalesced-deadline retry,
+        and stats accounting.
+
+        ``build(graph, epoch)`` returns ``(key, compute)`` for the
+        current snapshot; :meth:`query` and :meth:`top_k` differ only in
+        that pair.
+        """
         source = int(source)
         if deadline is not None:
             deadline = float(deadline)
@@ -233,6 +250,8 @@ class ConcurrentQueryEngine:
             if deadline is not None and time.monotonic() >= deadline:
                 with self._stats_lock:
                     self.stats.queries += 1
+                    if topk:
+                        self.stats.topk_queries += 1
                     self.stats.deadline_exceeded += 1
                 raise DeadlineExceededError(
                     f"deadline expired before query for source {source} "
@@ -245,12 +264,9 @@ class ConcurrentQueryEngine:
                         raise ParameterError(
                             f"source {source} out of range for n={graph.n}"
                         )
-                    effective = accuracy or self._accuracy
-                    key = (source, effective)
+                    key, compute = build(graph, epoch)
                     result, outcome = self._cache.get_or_compute(
-                        key,
-                        lambda: self._compute(graph, source, effective,
-                                              epoch, deadline),
+                        key, compute,
                     )
             except DeadlineExceededError:
                 if deadline is None or time.monotonic() < deadline:
@@ -261,11 +277,15 @@ class ConcurrentQueryEngine:
                     continue
                 with self._stats_lock:
                     self.stats.queries += 1
+                    if topk:
+                        self.stats.topk_queries += 1
                     self.stats.deadline_exceeded += 1
                 raise
             break
         with self._stats_lock:
             self.stats.queries += 1
+            if topk:
+                self.stats.topk_queries += 1
             if outcome == "hit":
                 self.stats.cache_hits += 1
             elif outcome == "coalesced":
@@ -332,10 +352,81 @@ class ConcurrentQueryEngine:
                 errors[sources[index]] = str(exc) or type(exc).__name__
         return BatchOutcome(results=results, errors=errors)
 
-    def top_k(self, source, k, *, accuracy=None, deadline=None):
-        """``(nodes, values)`` of the top-k estimates for ``source``."""
-        return self.query(source, accuracy=accuracy,
-                          deadline=deadline).top_k(k)
+    def top_k(self, source, k, *, accuracy=None, deadline=None,
+              mode="auto"):
+        """Top-k answer for ``source`` (cached, single-flighted).
+
+        Returns a :class:`repro.core.TopKAnswer` (it iterates as
+        ``(nodes, values)`` for back-compat).  ``mode="auto"`` tries the
+        early-terminating solver of :mod:`repro.core.topk_solver` and
+        falls back to the full solve when the set cannot be certified;
+        ``"fast"`` / ``"full"`` force one path.  With a custom
+        ``solver`` the fast path is unavailable and the answer always
+        comes from :meth:`query` (``path="full"``).
+
+        Cache keys are ``("topk", source, accuracy, k, mode)`` --
+        disjoint from full-query keys, per-``k`` (a certificate covers
+        only its own set), and never shared between modes.  The fast
+        solver's walks are always serial, so the answer is a pure
+        function of ``(graph, source, k, accuracy, seed, mode)`` and
+        byte-identical across engines and workers; ``walk_workers``
+        parallelism applies to the fallback solve only.
+
+        A ``deadline`` is enforced at every solver phase boundary --
+        including each fast-path refinement round -- and expiry raises
+        :class:`repro.errors.DeadlineExceededError`, freeing the worker.
+        """
+        k = int(k)
+        if mode not in ("auto", "fast", "full"):
+            raise ParameterError(
+                f"mode must be 'auto', 'fast' or 'full', got {mode!r}"
+            )
+        if self._solver is not None or mode == "full":
+            from repro.core.topk_solver import answer_from_result
+
+            result = self.query(source, accuracy=accuracy,
+                                deadline=deadline)
+            with self._stats_lock:
+                self.stats.topk_queries += 1
+                self.stats.topk_fallback += 1
+            return answer_from_result(result, k)
+
+        def build(graph, epoch):
+            effective = accuracy or self._accuracy
+            return (("topk", int(source), effective, k, mode),
+                    lambda: self._compute_topk(graph, int(source), k,
+                                               effective, mode, epoch,
+                                               deadline))
+
+        return self._serve(source, deadline, build, topk=True)
+
+    def _compute_topk(self, graph, source, k, accuracy, mode, epoch,
+                      deadline=None):
+        from repro.core.topk_solver import answer_top_k
+
+        inner = QueryTrace(epoch=epoch) if self._trace_enabled else None
+        trace = inner
+        if deadline is not None:
+            trace = DeadlineTrace(deadline, inner)
+        tic = time.perf_counter()
+        answer = answer_top_k(
+            graph, source, k,
+            accuracy=accuracy or AccuracyParams.paper_defaults(graph.n),
+            seed=self._seed + source, mode=mode, trace=trace,
+            walk_workers=self._walk_workers,
+            walk_executor=self._walk_executor_for(graph),
+        )
+        if deadline is not None:
+            # Cached answers carry the real trace (or None), never the
+            # one-shot deadline proxy.
+            answer.trace = inner
+        self._record_solver_run(inner, time.perf_counter() - tic)
+        with self._stats_lock:
+            if answer.path == "topk":
+                self.stats.topk_fast += 1
+            else:
+                self.stats.topk_fallback += 1
+        return answer
 
     def _compute(self, graph, source, accuracy, epoch, deadline=None):
         inner = QueryTrace(epoch=epoch) if self._trace_enabled else None

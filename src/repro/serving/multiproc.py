@@ -112,6 +112,40 @@ def _solve_task(handle, source, accuracy, seed, trace_enabled, deadline,
     return result
 
 
+def _topk_task(handle, source, k, accuracy, seed, mode, trace_enabled,
+               deadline, epoch):
+    """One top-k query; runs inside a pool worker process.
+
+    The whole ``answer_top_k`` pipeline -- fast attempt plus, when it
+    fails to certify, the full-solve fallback -- executes worker-side,
+    so a fallback costs no extra dispatcher round-trip.  Same purity
+    contract as :func:`_solve_task`: serial walks, per-source seed, so
+    the pickled :class:`repro.core.TopKAnswer` is byte-identical to what
+    the sequential engines produce.
+    """
+    from repro.core.topk_solver import answer_top_k
+    from repro.obs.trace import DeadlineTrace, QueryTrace
+    from repro.walks.parallel import attach_csr_graph
+
+    graph = attach_csr_graph(handle)
+    inner = None
+    if trace_enabled:
+        inner = QueryTrace(epoch=epoch)
+        inner.note(**{PROCESS_META_KEY: current_process().name,
+                      "pid": os.getpid()})
+    trace = inner
+    if deadline is not None:
+        trace = DeadlineTrace(deadline, inner)
+    answer = answer_top_k(
+        graph, source, k,
+        accuracy=accuracy or AccuracyParams.paper_defaults(graph.n),
+        seed=seed, mode=mode, trace=trace,
+    )
+    # The answer must never carry the one-shot deadline proxy home.
+    answer.trace = inner
+    return answer
+
+
 def _attach_task(handle):
     """Warm-up task: import the solver stack and map the graph."""
     from repro.walks.parallel import attach_csr_graph
@@ -275,8 +309,11 @@ class MultiProcessQueryEngine(ConcurrentQueryEngine):
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def _compute(self, graph, source, accuracy, epoch, deadline=None):
-        tic = time.perf_counter()
+    def _run_in_pool(self, graph, source, deadline, task, *args):
+        """Submit ``task(handle, *args)`` to the solver pool with the
+        crash-containment loop: a broken pool is retired and respawned
+        (against the same shared snapshot) up to ``crash_retries``
+        times, after which :class:`WorkerCrashError` surfaces."""
         attempts = 0
         while True:
             if deadline is not None and time.monotonic() >= deadline:
@@ -286,13 +323,8 @@ class MultiProcessQueryEngine(ConcurrentQueryEngine):
                 )
             pool, handle = self._solver_resources(graph)
             try:
-                future = pool.submit(
-                    _solve_task, handle, source, accuracy,
-                    self._seed + source, self._trace_enabled, deadline,
-                    epoch,
-                )
-                result = future.result()
-                break
+                future = pool.submit(task, handle, *args)
+                return future.result()
             except BrokenProcessPool as exc:
                 self._handle_pool_crash(pool)
                 attempts += 1
@@ -308,8 +340,31 @@ class MultiProcessQueryEngine(ConcurrentQueryEngine):
                 # Any RuntimeError from a still-current pool is real.
                 if not self._pool_replaced(pool):
                     raise
+
+    def _compute(self, graph, source, accuracy, epoch, deadline=None):
+        tic = time.perf_counter()
+        result = self._run_in_pool(
+            graph, source, deadline, _solve_task, source, accuracy,
+            self._seed + source, self._trace_enabled, deadline, epoch,
+        )
         self._record_solver_run(result.trace, time.perf_counter() - tic)
         return result
+
+    def _compute_topk(self, graph, source, k, accuracy, mode, epoch,
+                      deadline=None):
+        tic = time.perf_counter()
+        answer = self._run_in_pool(
+            graph, source, deadline, _topk_task, source, k, accuracy,
+            self._seed + source, mode, self._trace_enabled, deadline,
+            epoch,
+        )
+        self._record_solver_run(answer.trace, time.perf_counter() - tic)
+        with self._stats_lock:
+            if answer.path == "topk":
+                self.stats.topk_fast += 1
+            else:
+                self.stats.topk_fallback += 1
+        return answer
 
     # ------------------------------------------------------------------
     # Observability

@@ -178,3 +178,44 @@ class TestSolverFactoriesExtra:
         result = make_topppr(acc, k=10, seed=0, max_candidates=8)(graph, 0)
         assert result.algorithm == "topppr"
         assert result.extras["candidates"] <= 8
+
+
+class TestTopKBenchmark:
+    def test_doc_shape_and_gates(self, graph):
+        from repro.bench import TOPK_BENCH_KIND, topk_benchmark
+
+        doc = topk_benchmark(graph, k=3, num_sources=3, eps=0.3,
+                             seed=2, delta_scale=5.0)
+        assert doc["kind"] == TOPK_BENCH_KIND
+        assert doc["k"] == 3
+        assert doc["workload"]["num_sources"] == 3
+        assert len(doc["per_source"]) == 3
+        assert doc["separated_count"] + doc["fallback_count"] == 3
+        assert doc["speedup"] > 0
+        # The correctness gate: separated sources always agree.
+        assert doc["agreement"] is True
+        assert doc["disagreements"] == []
+        for entry in doc["per_source"]:
+            assert entry["path"] in ("topk", "full")
+            assert entry["separated"] == (entry["path"] == "topk")
+
+    def test_cli_topk_parser_defaults(self):
+        args = build_parser().parse_args(["topk", "dblp"])
+        assert args.k == 4
+        assert args.sources == 20
+        assert args.eps == 0.05
+        assert args.guard_factor == 1.0
+        assert args.min_speedup is None
+
+    def test_trend_kind_registered(self):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_trend",
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "bench_trend.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.KNOWN_METRICS["repro-topk-bench"] == ("speedup",)

@@ -103,14 +103,49 @@ class TestEquivalence:
         assert doc["results"][0]["source"] == 1
         assert doc["results"][2]["source"] == 2
 
-    def test_top_k_matches_result_top_k(self, served):
+    def test_top_k_full_mode_matches_result_top_k(self, served):
         graph, _, client = served
         sequential = QueryEngine(graph, accuracy=_accuracy(graph.n),
                                  cache_size=0, seed=SEED)
         nodes, values = sequential.query(17).top_k(5)
-        doc = client.top_k(17, 5)
+        doc = client.top_k(17, 5, mode="full")
         assert doc["nodes"] == [int(v) for v in nodes]
         assert doc["values"] == [float(v) for v in values]
+        assert doc["path"] == "full"
+        assert doc["separated"] is False
+
+    def test_top_k_reports_answering_path(self, served):
+        """Every /top_k response says which solver path answered."""
+        graph, _, client = served
+        doc = client.top_k(17, 5)
+        assert doc["path"] in ("topk", "full")
+        assert isinstance(doc["separated"], bool)
+        assert doc["k"] == 5
+        assert doc["walks_used"] >= 0
+        assert doc["pushes"] >= 0
+        # k = n: the fast path certifies trivially (bound_gap would be
+        # +inf, which JSON cannot carry -- the field must be null).
+        doc = client.top_k(5, graph.n)
+        assert doc["path"] == "topk"
+        assert doc["separated"] is True
+        assert doc["bound_gap"] is None
+
+    def test_top_k_invalid_mode_is_400(self, served):
+        _, _, client = served
+        with pytest.raises(ServerError) as excinfo:
+            client.top_k(17, 5, mode="warp")
+        assert excinfo.value.status == 400
+
+    def test_top_k_cached_repeat_is_byte_identical(self, served):
+        """A repeated (source, k) request hits the answer cache and the
+        raw response body is identical down to the last byte."""
+        _, handle, client = served
+        payload = {"source": 23, "k": 7}
+        first = client.request("POST", "/top_k", payload, raw=True)
+        hits_before = handle.server.engine.stats.cache_hits
+        second = client.request("POST", "/top_k", payload, raw=True)
+        assert first == second
+        assert handle.server.engine.stats.cache_hits > hits_before
 
     def test_accuracy_override_over_http(self, served):
         graph, _, client = served
@@ -151,6 +186,20 @@ class TestDeadlines:
         doc = client.query(204)
         assert doc["source"] == 204
         assert len(doc["estimates"]) == graph.n
+
+    def test_top_k_deadline_expiry_is_504_and_worker_freed(self, served):
+        """Deadline expiry mid-separation surfaces as a clean 504 (not a
+        half-built answer) and the dispatch slot is released."""
+        graph, handle, client = served
+        before = handle.server.metrics.deadline_exceeded_total
+        for _ in range(3):
+            with pytest.raises(ServerError) as excinfo:
+                client.top_k(203, 5, deadline_ms=0)
+            assert excinfo.value.status == 504
+        assert handle.server.metrics.deadline_exceeded_total >= before + 3
+        doc = client.top_k(203, 5)
+        assert doc["source"] == 203
+        assert len(doc["nodes"]) == 5
 
     def test_non_numeric_deadline_is_400(self, served):
         _, _, client = served
@@ -416,6 +465,19 @@ class TestMetrics:
                 if key.startswith('repro_http_requests_total{')]
         assert any('endpoint="/query"' in key and 'status="200"' in key
                    for key in hits)
+
+    def test_top_k_metrics_count_paths(self, served):
+        _, handle, client = served
+        doc = client.top_k(31, 3)
+        snapshot = handle.server.metrics.snapshot()
+        key = ("topk_fast_total" if doc["path"] == "topk"
+               else "topk_full_total")
+        assert snapshot[key] >= 1
+        _, samples = parse_prometheus(client.metrics())
+        total = (samples['repro_http_top_k_answers_total{path="topk"}']
+                 + samples['repro_http_top_k_answers_total{path="full"}'])
+        assert total >= 1
+        assert samples["repro_engine_topk_queries_total"] >= 1
 
     def test_metrics_counts_match_observed_traffic(self, served):
         _, handle, client = served

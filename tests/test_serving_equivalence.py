@@ -136,3 +136,77 @@ def test_accuracy_override_matches_sequential():
     with ConcurrentQueryEngine(graph, seed=3, max_workers=2) as engine:
         got = engine.query_batch([12], accuracy=tight)[0]
     assert expected.estimates.tobytes() == got.estimates.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Top-k answers: one deterministic contract across every engine
+# ----------------------------------------------------------------------
+def _answers_equal(want, got):
+    assert want.nodes.tobytes() == got.nodes.tobytes()
+    assert want.values.tobytes() == got.values.tobytes()
+    assert want.separated == got.separated
+    assert want.path == got.path
+
+
+@pytest.mark.parametrize("graph_name", ("ba", "grid"))
+def test_topk_identical_across_all_engines(graph_name):
+    """QueryEngine, ConcurrentQueryEngine and MultiProcessQueryEngine
+    return byte-identical top-k answers for the same seed -- the fast
+    path's early termination must not depend on where it runs."""
+    from repro.serving import MultiProcessQueryEngine
+
+    graph = GRAPHS[graph_name]()
+    accuracy = ACCURACIES["tight-eps"](graph.n)
+    sources = [0, 7, 42]
+    reference = QueryEngine(graph, accuracy=accuracy, seed=9)
+    expected = [reference.top_k(s, 5) for s in sources]
+    with ConcurrentQueryEngine(graph, accuracy=accuracy, seed=9,
+                               max_workers=4) as threads:
+        for source, want in zip(sources, expected):
+            _answers_equal(want, threads.top_k(source, 5))
+    with MultiProcessQueryEngine(graph, accuracy=accuracy, seed=9,
+                                 solver_workers=2) as procs:
+        for source, want in zip(sources, expected):
+            _answers_equal(want, procs.top_k(source, 5))
+
+
+def test_topk_worker_count_does_not_change_answers():
+    graph = GRAPHS["power_law"]()
+    accuracy = ACCURACIES["loose-delta"](graph.n)
+    reference = None
+    for workers in (1, 4):
+        with ConcurrentQueryEngine(graph, accuracy=accuracy, seed=6,
+                                   max_workers=workers) as engine:
+            got = [engine.top_k(s, 8) for s in (2, 30, 77)]
+        if reference is None:
+            reference = got
+        else:
+            for want, have in zip(reference, got):
+                _answers_equal(want, have)
+
+
+def test_topk_tie_break_is_stable_across_runs():
+    """Exact ties (edgeless graph: every non-source score is 0.0) are
+    listed by ascending node id, byte-stable across fresh engines."""
+    from repro.graph import from_edges
+
+    graph = from_edges(40, [])
+    outputs = []
+    for _ in range(2):
+        with ConcurrentQueryEngine(graph, seed=4, max_workers=3) as eng:
+            outputs.append(eng.top_k(11, 6))
+    first, second = outputs
+    _answers_equal(first, second)
+    assert first.nodes[0] == 11
+    assert first.nodes[1:].tolist() == [0, 1, 2, 3, 4]
+
+
+def test_topk_cache_hits_preserve_bytes():
+    graph = GRAPHS["ba"]()
+    accuracy = ACCURACIES["tight-eps"](graph.n)
+    with ConcurrentQueryEngine(graph, accuracy=accuracy, seed=9,
+                               max_workers=2) as engine:
+        cold = engine.top_k(17, 5)
+        hot = engine.top_k(17, 5)
+        assert hot is cold          # served from the result cache
+        assert engine.stats.cache_hits >= 1

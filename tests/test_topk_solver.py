@@ -1,0 +1,211 @@
+"""Property tests for the early-terminating top-k solver.
+
+The contract under test (``docs/topk.md``):
+
+* whenever the solver reports ``separated=True`` its node *set* is
+  exactly the full solve's top-k set (same seed, same accuracy) -- no
+  approximation sneaks in through the fast path;
+* the per-node confidence envelope ``[lower, upper]`` contains the
+  exact RWR score for every node (the bounds are what the pruning and
+  the separation certificate rest on);
+* answers are pure functions of ``(graph, source, k, accuracy, seed,
+  mode)`` -- repeated calls are byte-identical;
+* ties are broken by ascending node id everywhere
+  (:func:`repro.core.result.top_k_order` is the library-wide
+  contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.inverse import ExactSolver
+from repro.core import AccuracyParams, resacc, top_k_order, topk_solve
+from repro.core.result import SSRWRResult
+from repro.core.topk_solver import TopKAnswer, answer_top_k
+from repro.errors import ParameterError
+from repro.graph import from_edges, generators
+
+
+def _parallel_edge_graph():
+    """Edge list with deliberate duplicates (the CSR builder must
+    collapse them; the solver sees a simple graph either way)."""
+    base = [(u, (u * 7 + 3) % 97) for u in range(97)]
+    base += [(u, (u * 3 + 11) % 97) for u in range(97)]
+    edges = base + base[::2] + base[:40]     # parallel copies
+    return from_edges(97, [e for e in edges if e[0] != e[1]],
+                      symmetrize=True)
+
+
+GRAPHS = {
+    "ba": lambda: generators.preferential_attachment(300, 3, seed=7),
+    "power_law": lambda: generators.directed_power_law(250, 5, seed=11),
+    "grid": lambda: generators.grid(12, 12, torus=True),
+    "parallel_edge": _parallel_edge_graph,
+}
+
+#: Three accuracy regimes: the paper default, a relaxed delta, and a
+#: tightened eps (where the fast path's advantage is largest).
+ACCURACIES = {
+    "paper": lambda n: AccuracyParams.paper_defaults(n),
+    "loose-delta": lambda n: AccuracyParams.paper_defaults(
+        n, delta_scale=10.0),
+    "tight-eps": lambda n: AccuracyParams.paper_defaults(
+        n, eps=0.2, delta_scale=5.0),
+}
+
+KS = (1, 10, 100)
+
+
+# ----------------------------------------------------------------------
+# Property harness: shapes x k x accuracies
+# ----------------------------------------------------------------------
+class TestTopKProperties:
+    @pytest.mark.parametrize("accuracy_name", sorted(ACCURACIES))
+    @pytest.mark.parametrize("k", KS)
+    @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+    def test_separated_set_matches_full_solve(self, graph_name, k,
+                                              accuracy_name):
+        """separated=True => exact set agreement with the full solve;
+        otherwise (auto mode) the fallback IS the full solve."""
+        graph = GRAPHS[graph_name]()
+        accuracy = ACCURACIES[accuracy_name](graph.n)
+        source = 3
+        answer = answer_top_k(graph, source, k, accuracy=accuracy,
+                              seed=21, mode="auto")
+        full = resacc(graph, source, accuracy=accuracy, seed=21)
+        full_nodes, full_values = full.top_k(k)
+        assert isinstance(answer, TopKAnswer)
+        assert answer.k == min(k, graph.n)
+        assert len(answer.nodes) == answer.k
+        if answer.separated:
+            assert answer.path == "topk"
+            assert set(answer.nodes.tolist()) == set(full_nodes.tolist()), (
+                f"{graph_name}/k={k}/{accuracy_name}: separated top-k set "
+                f"diverges from the full solve"
+            )
+        else:
+            # auto mode fell back to the full solve with the same seed:
+            # byte-identical nodes and values.
+            assert answer.path == "full"
+            assert answer.nodes.tobytes() == full_nodes.tobytes()
+            assert answer.values.tobytes() == full_values.tobytes()
+
+    @pytest.mark.parametrize("k", KS)
+    @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+    def test_bounds_contain_exact_scores(self, graph_name, k):
+        """The advertised envelope holds: lower <= pi(s, v) <= upper
+        for the returned nodes, and lower <= value <= upper."""
+        graph = GRAPHS[graph_name]()
+        accuracy = ACCURACIES["loose-delta"](graph.n)
+        answer = topk_solve(graph, 3, k, accuracy=accuracy, seed=5)
+        truth = ExactSolver(graph).query(3).estimates
+        nodes = answer.nodes
+        assert np.all(answer.lower <= answer.values + 1e-12)
+        assert np.all(answer.values <= answer.upper + 1e-12)
+        assert np.all(answer.lower - 1e-12 <= truth[nodes]), (
+            f"{graph_name}/k={k}: lower bound above the exact score"
+        )
+        assert np.all(truth[nodes] <= answer.upper + 1e-12), (
+            f"{graph_name}/k={k}: upper bound below the exact score"
+        )
+
+    @pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+    def test_repeated_calls_are_byte_identical(self, graph_name):
+        graph = GRAPHS[graph_name]()
+        accuracy = ACCURACIES["paper"](graph.n)
+        first = answer_top_k(graph, 7, 10, accuracy=accuracy, seed=13)
+        second = answer_top_k(graph, 7, 10, accuracy=accuracy, seed=13)
+        assert first.separated == second.separated
+        assert first.path == second.path
+        assert first.nodes.tobytes() == second.nodes.tobytes()
+        assert first.values.tobytes() == second.values.tobytes()
+        assert first.lower.tobytes() == second.lower.tobytes()
+        assert first.upper.tobytes() == second.upper.tobytes()
+        assert first.walks_used == second.walks_used
+        assert first.pushes == second.pushes
+
+
+# ----------------------------------------------------------------------
+# Bookkeeping and edge cases
+# ----------------------------------------------------------------------
+class TestTopKAnswer:
+    def test_k_at_least_n_is_trivially_separated(self, tiny_graph):
+        answer = topk_solve(tiny_graph, 0, tiny_graph.n + 5, seed=1)
+        assert answer.separated is True
+        assert answer.k == tiny_graph.n
+        assert answer.bound_gap == float("inf")
+        assert sorted(answer.nodes.tolist()) == list(range(tiny_graph.n))
+
+    def test_answer_reports_work_spent(self):
+        graph = GRAPHS["ba"]()
+        accuracy = ACCURACIES["tight-eps"](graph.n)
+        answer = topk_solve(graph, 0, 1, accuracy=accuracy, seed=2)
+        assert answer.pushes > 0
+        assert answer.rounds >= 1
+        assert answer.bound_width is not None and answer.bound_width >= 0
+        assert answer.extras["full_walk_budget"] >= answer.walks_used
+
+    def test_tuple_unpacking_back_compat(self):
+        graph = GRAPHS["grid"]()
+        answer = answer_top_k(graph, 0, 5, seed=3)
+        nodes, values = answer
+        assert nodes.tobytes() == answer.nodes.tobytes()
+        assert values.tobytes() == answer.values.tobytes()
+
+    def test_fast_mode_never_falls_back(self):
+        graph = GRAPHS["power_law"]()
+        answer = answer_top_k(graph, 2, 50, seed=4, mode="fast",
+                              max_rounds=2)
+        assert answer.path == "topk"
+
+    def test_full_mode_matches_resacc(self):
+        graph = GRAPHS["ba"]()
+        accuracy = ACCURACIES["paper"](graph.n)
+        answer = answer_top_k(graph, 9, 5, accuracy=accuracy, seed=6,
+                              mode="full")
+        want_nodes, want_values = resacc(
+            graph, 9, accuracy=accuracy, seed=6).top_k(5)
+        assert answer.path == "full"
+        assert answer.separated is False
+        assert answer.nodes.tobytes() == want_nodes.tobytes()
+        assert answer.values.tobytes() == want_values.tobytes()
+
+    def test_invalid_mode_raises(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            answer_top_k(tiny_graph, 0, 2, mode="warp")
+
+    def test_invalid_k_raises(self, tiny_graph):
+        with pytest.raises(ParameterError):
+            topk_solve(tiny_graph, 0, 0)
+        with pytest.raises(ParameterError):
+            topk_solve(tiny_graph, 0, -3)
+
+
+# ----------------------------------------------------------------------
+# Tie-breaking: ascending node id, everywhere
+# ----------------------------------------------------------------------
+class TestTieBreaking:
+    def test_top_k_order_breaks_ties_by_node_id(self):
+        estimates = np.array([0.25, 0.5, 0.25, 0.5, 0.25])
+        order = top_k_order(estimates, 4)
+        assert order.tolist() == [1, 3, 0, 2]
+
+    def test_result_top_k_uses_shared_contract(self):
+        estimates = np.array([0.2, 0.2, 0.2, 0.4])
+        result = SSRWRResult(source=0, estimates=estimates, alpha=0.2)
+        nodes, values = result.top_k(3)
+        assert nodes.tolist() == [3, 0, 1]
+        assert values.tolist() == [0.4, 0.2, 0.2]
+
+    def test_exact_ties_listed_in_ascending_id_order(self):
+        """Edgeless graph: every non-source score is exactly 0, so the
+        listing after the source must be 0, 1, 2, ... by node id."""
+        graph = from_edges(8, [])
+        answer = topk_solve(graph, 3, 5, seed=8)
+        assert answer.nodes[0] == 3              # pi(s, s) = 1
+        assert answer.nodes[1:].tolist() == [0, 1, 2, 4]
+        full = resacc(graph, 3, seed=8)
+        nodes, _ = full.top_k(5)
+        assert nodes.tolist() == answer.nodes.tolist()
