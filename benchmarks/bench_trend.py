@@ -33,6 +33,9 @@ KNOWN_METRICS = {
     "repro-walks-bench": ("speedup",),
     "repro-push-bench": ("speedup",),
     "repro-topk-bench": ("speedup",),
+    # Latency ratios are too jittery for the 15%-drop gate;
+    # retention is the deterministic headline.
+    "repro-dynamic-bench": ("retention_rate",),
 }
 
 

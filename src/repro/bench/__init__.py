@@ -4,6 +4,7 @@ from repro.bench.appendix import APPENDIX_EXPERIMENTS
 from repro.bench.experiments import MAIN_EXPERIMENTS
 from repro.bench.extensions import EXTENSION_EXPERIMENTS
 from repro.bench.harness import (
+    DYNAMIC_BENCH_KIND,
     HTTP_BENCH_KIND,
     PUSH_BENCH_KIND,
     SERVING_BENCH_KIND,
@@ -11,6 +12,7 @@ from repro.bench.harness import (
     BenchConfig,
     GroundTruthCache,
     SolverRun,
+    dynamic_benchmark,
     export_suite_traces,
     http_benchmark,
     push_benchmark,
@@ -32,6 +34,7 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "APPENDIX_EXPERIMENTS",
     "BenchConfig",
+    "DYNAMIC_BENCH_KIND",
     "EXTENSION_EXPERIMENTS",
     "GroundTruthCache",
     "HTTP_BENCH_KIND",
@@ -42,6 +45,7 @@ __all__ = [
     "SolverRun",
     "TOPK_BENCH_KIND",
     "Table",
+    "dynamic_benchmark",
     "export_suite_traces",
     "http_benchmark",
     "push_benchmark",

@@ -186,6 +186,45 @@ def build_parser():
                           help="exit non-zero unless the end-to-end "
                                "fast-path speedup (fallbacks charged) "
                                "reaches this")
+    dyn_cmd = sub.add_parser(
+        "dynamic",
+        help="benchmark incremental cache retention under a mixed "
+             "read/write workload (see docs/dynamic.md)",
+    )
+    dyn_cmd.add_argument("dataset", help="dataset name from the catalog")
+    dyn_cmd.add_argument("--sources", type=int, default=8,
+                         help="number of distinct (hot) query sources")
+    dyn_cmd.add_argument("--rounds", type=int, default=12,
+                         help="passes over the source set")
+    dyn_cmd.add_argument("--write-every", type=int, default=8,
+                         help="one edge toggle per this many reads "
+                              "(8 -> ~11%% writes)")
+    dyn_cmd.add_argument("--solve-margin", type=float, default=0.5,
+                         help="misses solve at eps * margin so cached "
+                              "answers have slack to survive edits")
+    dyn_cmd.add_argument("--workers", type=int, default=4,
+                         help="engine thread-pool size")
+    dyn_cmd.add_argument("--scale", type=float, default=1.0,
+                         help="dataset scale factor")
+    dyn_cmd.add_argument("--seed", type=int, default=0)
+    dyn_cmd.add_argument("--delta-scale", type=float, default=1.0,
+                         help="relax delta to this multiple of 1/n "
+                              "(retention needs headroom; see "
+                              "docs/dynamic.md)")
+    dyn_cmd.add_argument("--grace-factor", type=float, default=1.5,
+                         help="post-write pause as a multiple of "
+                              "(one solve x hot sources) -- lets "
+                              "background repair land off the read path")
+    dyn_cmd.add_argument("--json", metavar="PATH", default=None,
+                         help="write the benchmark document "
+                              "(e.g. BENCH_dynamic.json)")
+    dyn_cmd.add_argument("--min-retention", type=float, default=None,
+                         help="exit non-zero unless the incremental "
+                              "engine's retention rate reaches this")
+    dyn_cmd.add_argument("--max-p95-ratio", type=float, default=None,
+                         help="exit non-zero if incremental p95 read "
+                              "latency exceeds this multiple of the "
+                              "read-only baseline")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment",
                      help="experiment id from 'list', or 'all'")
@@ -240,6 +279,8 @@ def main(argv=None):
         return _run_push_bench(args)
     if args.command == "topk":
         return _run_topk_bench(args)
+    if args.command == "dynamic":
+        return _run_dynamic_bench(args)
     if args.command == "compare":
         from repro.bench.compare import compare_files
 
@@ -582,6 +623,81 @@ def _run_topk_bench(args):
     if args.min_speedup is not None and doc["speedup"] < args.min_speedup:
         print(f"speedup {doc['speedup']:.2f}x below required "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_dynamic_bench(args):
+    import json
+
+    from repro.bench.harness import dynamic_benchmark
+    from repro.core.params import AccuracyParams
+    from repro.datasets import catalog
+    from repro.errors import ParameterError
+
+    try:
+        graph = catalog.load(args.dataset, scale=args.scale)
+        accuracy = AccuracyParams.paper_defaults(
+            graph.n, delta_scale=args.delta_scale)
+        doc = dynamic_benchmark(
+            graph, num_unique=args.sources, rounds=args.rounds,
+            write_every=args.write_every, accuracy=accuracy,
+            solve_margin=args.solve_margin, num_workers=args.workers,
+            seed=args.seed, grace_factor=args.grace_factor,
+        )
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    workload = doc["workload"]
+    site = workload["mutation_site"]
+    print(f"{args.dataset} (n={graph.n}, m={graph.m})  "
+          f"{workload['unique_sources']} sources x "
+          f"{workload['rounds']} rounds, "
+          f"write_fraction={workload['write_fraction']:.1%}, "
+          f"eps={doc['accuracy']['eps']:g}, "
+          f"delta={doc['accuracy']['delta']:.2e}, "
+          f"margin={doc['solve_margin']:g}")
+    print(f"  mutation site: edge ({site['u']}, {site['v']}), "
+          f"out_degree={site['out_degree']}")
+    for name in ("read_only", "quiesce", "incremental"):
+        variant = doc[name]
+        print(f"  {name:<12} p50 {variant['p50_read_seconds'] * 1e3:8.3f} ms"
+              f"  p95 {variant['p95_read_seconds'] * 1e3:8.3f} ms"
+              f"  ({variant['reads']} reads, {variant['writes']} writes)")
+    stats = doc["incremental"]["stats"]
+    print(f"  retention: {stats['entries_retained']} retained / "
+          f"{stats['invalidations']} evicted "
+          f"(rate {doc['retention_rate']:.2f}), "
+          f"{stats['entries_repaired']} repaired in background")
+    print(f"  incremental p95 vs read-only: "
+          f"{doc['p95_ratio_vs_read_only']:.2f}x  "
+          f"(vs quiesce-everything: "
+          f"{doc['p95_speedup_vs_quiesce']:.2f}x faster)")
+    print(f"  retained answers meet the contract vs exact solve: "
+          f"{doc['retained_within_contract']}")
+    if args.json:
+        from pathlib import Path
+
+        from repro.obs.export import _json_safe
+
+        path = Path(args.json)
+        path.write_text(json.dumps(_json_safe(doc), indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"  written to {path}")
+    if doc["retained_within_contract"] is False:
+        print("a retained cached answer violated its accuracy contract "
+              "against the exact solve", file=sys.stderr)
+        return 1
+    if (args.min_retention is not None
+            and doc["retention_rate"] < args.min_retention):
+        print(f"retention rate {doc['retention_rate']:.2f} below required "
+              f"{args.min_retention:.2f}", file=sys.stderr)
+        return 1
+    if (args.max_p95_ratio is not None
+            and doc["p95_ratio_vs_read_only"] > args.max_p95_ratio):
+        print(f"incremental p95 is {doc['p95_ratio_vs_read_only']:.2f}x "
+              f"the read-only baseline, above the allowed "
+              f"{args.max_p95_ratio:.2f}x", file=sys.stderr)
         return 1
     return 0
 

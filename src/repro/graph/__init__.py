@@ -29,8 +29,10 @@ from repro.graph.scc import (
 )
 from repro.graph.dynamic import (
     add_edges,
+    delete_edge,
     delete_edges,
     delete_nodes,
+    insert_edge,
     rewire_random_edges,
 )
 from repro.graph.hop import HopStructure, expand_ranges, hop_structure
@@ -53,6 +55,7 @@ __all__ = [
     "biconnected_core",
     "check_consistency",
     "condensation_edges",
+    "delete_edge",
     "delete_edges",
     "delete_nodes",
     "expand_ranges",
@@ -63,6 +66,7 @@ __all__ = [
     "graph_stats",
     "hop_structure",
     "induced_subgraph",
+    "insert_edge",
     "is_strongly_connected",
     "is_weakly_connected",
     "largest_component",

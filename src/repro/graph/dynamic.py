@@ -5,8 +5,14 @@ changes, whereas index-oriented competitors must rebuild (parts of) their
 index.  These helpers produce the post-update graph so the benchmark can
 measure each competitor's rebuild time.
 
-Updates rebuild the CSR arrays; the cost is O(n + m), which is itself far
-cheaper than any of the index rebuilds being measured.
+Bulk updates rebuild the CSR arrays; the cost is O(n + m), which is
+itself far cheaper than any of the index rebuilds being measured.  For
+the serving tier's single-edge mutations :func:`insert_edge` /
+:func:`delete_edge` edit the CSR arrays in place of a rebuild: one
+``np.insert``/``np.delete`` memcpy instead of re-sorting the whole edge
+set, producing arrays byte-identical to a
+:class:`repro.graph.builder.GraphBuilder` rebuild (rows stay sorted and
+deduplicated).
 """
 
 from __future__ import annotations
@@ -16,6 +22,79 @@ import numpy as np
 from repro.errors import GraphFormatError
 from repro.graph.build import from_edges
 from repro.graph.csr import CSRGraph
+
+
+def _csr_from_edge_rows(n, edges, *, dangling):
+    """CSR from an ``(m, 2)`` edge array, **preserving multiplicity**.
+
+    Unlike :func:`repro.graph.build.from_edges` this keeps parallel
+    edges: rows are lexsorted on ``(source, target)`` but never
+    deduplicated.  Used by the mutation helpers, whose inputs come from
+    an already-validated graph.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.shape[0]:
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        edges = edges[order]
+        counts = np.bincount(edges[:, 0], minlength=n)
+        indices = edges[:, 1].copy()
+    else:
+        counts = np.zeros(n, dtype=np.int64)
+        indices = np.empty(0, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(n, indptr, indices, dangling=dangling, validate=False)
+
+
+def _check_endpoints(graph, u, v):
+    if u == v:
+        raise GraphFormatError("self-loops are not allowed")
+    if not (0 <= u < graph.n and 0 <= v < graph.n):
+        raise GraphFormatError(
+            f"edge ({u}, {v}) out of range for n={graph.n}"
+        )
+
+
+def insert_edge(graph, u, v):
+    """New graph with the directed edge ``(u, v)`` inserted.
+
+    A single-edge *delta* edit: the target is spliced into row ``u`` at
+    its sorted position (one ``np.insert`` memcpy, no edge-set re-sort),
+    so for a row-sorted deduplicated graph -- the
+    :class:`repro.graph.builder.GraphBuilder` invariant -- the result is
+    byte-identical to a full ``from_edges`` rebuild.  On a multigraph it
+    adds one more copy.
+    """
+    u, v = int(u), int(v)
+    _check_endpoints(graph, u, v)
+    row = graph.out_neighbors(u)
+    pos = int(graph.indptr[u]) + int(np.searchsorted(row, v))
+    indices = np.insert(graph.indices, pos, v)
+    indptr = graph.indptr.copy()
+    indptr[u + 1:] += 1
+    return CSRGraph(graph.n, indptr, indices, dangling=graph.dangling,
+                    validate=False)
+
+
+def delete_edge(graph, u, v):
+    """New graph with one copy of the directed edge ``(u, v)`` removed.
+
+    The single-edge counterpart of :func:`delete_edges` (same
+    one-copy-per-call multiset semantics); raises
+    :class:`GraphFormatError` when the edge is absent.
+    """
+    u, v = int(u), int(v)
+    _check_endpoints(graph, u, v)
+    row = graph.out_neighbors(u)
+    matches = np.flatnonzero(row == v)
+    if matches.size == 0:
+        raise GraphFormatError(f"edge ({u}, {v}) is not in the graph")
+    pos = int(graph.indptr[u]) + int(matches[0])
+    indices = np.delete(graph.indices, pos)
+    indptr = graph.indptr.copy()
+    indptr[u + 1:] -= 1
+    return CSRGraph(graph.n, indptr, indices, dangling=graph.dangling,
+                    validate=False)
 
 
 def delete_nodes(graph, nodes, *, relabel=False):
@@ -48,10 +127,40 @@ def delete_nodes(graph, nodes, *, relabel=False):
 
 
 def delete_edges(graph, edges_to_drop):
-    """Remove specific directed edges (missing edges are ignored)."""
-    drop = {(int(u), int(v)) for u, v in edges_to_drop}
-    edges = [edge for edge in graph.edges() if edge not in drop]
-    return from_edges(graph.n, edges, dangling=graph.dangling)
+    """Remove specific directed edges (missing edges are ignored).
+
+    Multiset semantics: each listed occurrence removes **one** copy of
+    the edge, so parallel edges survive unless listed as many times as
+    they appear.  Fully vectorized over :meth:`CSRGraph.edge_array`
+    (encode edges as ``u * n + v`` keys, binary-search each requested
+    drop into the sorted key array) — no Python-level edge loop.
+    """
+    edges = graph.edge_array()
+    drop = np.asarray(list(edges_to_drop), dtype=np.int64).reshape(-1, 2)
+    if drop.shape[0]:
+        in_range = ((drop >= 0) & (drop < graph.n)).all(axis=1)
+        drop = drop[in_range]
+    if drop.shape[0] and edges.shape[0]:
+        n = np.int64(graph.n)
+        keys = edges[:, 0] * n + edges[:, 1]
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        drop_keys = drop[:, 0] * n + drop[:, 1]
+        unique_drop, requested = np.unique(drop_keys, return_counts=True)
+        left = np.searchsorted(sorted_keys, unique_drop, side="left")
+        right = np.searchsorted(sorted_keys, unique_drop, side="right")
+        take = np.minimum(requested, right - left)
+        total = int(take.sum())
+        if total:
+            # Positions left[i] .. left[i]+take[i]-1 within the sorted
+            # order, flattened across all drop keys.
+            starts = np.repeat(left, take)
+            offsets = np.arange(total) - np.repeat(np.cumsum(take) - take,
+                                                   take)
+            keep = np.ones(edges.shape[0], dtype=bool)
+            keep[order[starts + offsets]] = False
+            edges = edges[keep]
+    return _csr_from_edge_rows(graph.n, edges, dangling=graph.dangling)
 
 
 def add_edges(graph, new_edges, *, grow=False):

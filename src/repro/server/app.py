@@ -541,6 +541,12 @@ class SSRWRServer:
             self.metrics.observe_mutation()
         doc = {"op": op, "changed": bool(changed),
                "epoch": self._engine.epoch}
+        # Incremental engines report how the cache fared (docs/dynamic.md).
+        last = self._engine.stats.extras.get("last_mutation")
+        if changed and last is not None:
+            doc["cache"] = {"incremental": last.get("incremental", False),
+                            "retained": last.get("retained", 0),
+                            "evicted": last.get("evicted", 0)}
         return 200, json_body(doc), None, "application/json"
 
     async def _handle_healthz(self, request):
@@ -691,6 +697,14 @@ def build_parser():
     parser.add_argument("--trace", action="store_true",
                         help="per-phase trace aggregation in /metrics "
                              "(bounded retention)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="offset-bound cache retention across "
+                             "mutations instead of full invalidation "
+                             "(docs/dynamic.md)")
+    parser.add_argument("--solve-margin", type=float, default=None,
+                        help="fraction of the contract eps the solver "
+                             "targets on cache misses, in (0, 1]; "
+                             "default 0.5 with --incremental else 1.0")
     return parser
 
 
@@ -710,6 +724,7 @@ def main(argv=None):
             dispatch_workers=args.workers, cache_size=args.cache_size,
             seed=args.seed, trace=args.trace,
             trace_capacity=512 if args.trace else None,
+            incremental=args.incremental, solve_margin=args.solve_margin,
         )
         # Spawn + import the solver stack now so the first request does
         # not pay pool startup.
@@ -720,6 +735,7 @@ def main(argv=None):
             walk_workers=args.walk_workers, cache_size=args.cache_size,
             seed=args.seed, trace=args.trace,
             trace_capacity=512 if args.trace else None,
+            incremental=args.incremental, solve_margin=args.solve_margin,
         )
     config = ServerConfig(
         host=args.host, port=args.port, max_inflight=args.max_inflight,

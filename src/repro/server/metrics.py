@@ -240,6 +240,15 @@ def _engine_families(engine):
         {"name": "repro_engine_invalidations_total", "type": "counter",
          "help": "Cache entries dropped by mutations/flushes.",
          "samples": [("", None, stats.invalidations)]},
+        {"name": "repro_engine_entries_retained_total", "type": "counter",
+         "help": "Cache entries kept across mutations because their "
+                 "offset bound still met the accuracy contract "
+                 "(incremental engines only).",
+         "samples": [("", None, stats.entries_retained)]},
+        {"name": "repro_engine_entries_repaired_total", "type": "counter",
+         "help": "Evicted entries recomputed in the background after a "
+                 "mutation (incremental engines only).",
+         "samples": [("", None, stats.entries_repaired)]},
     ]
     summary = engine.trace_summary() if getattr(
         engine, "_trace_enabled", False) else None

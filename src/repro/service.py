@@ -62,6 +62,12 @@ class ServiceStats:
     topk_queries: int = 0
     topk_fast: int = 0
     topk_fallback: int = 0
+    #: incremental dynamic-graph serving (``incremental=True`` engines,
+    #: see docs/dynamic.md): cached entries kept across a mutation
+    #: because their offset bound still met the accuracy contract, and
+    #: evicted entries recomputed in the background off the read path.
+    entries_retained: int = 0
+    entries_repaired: int = 0
     extras: dict = field(default_factory=dict)
 
     @property

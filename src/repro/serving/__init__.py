@@ -15,7 +15,10 @@ pieces:
 * :mod:`repro.serving.multiproc` -- :class:`MultiProcessQueryEngine`,
   the same contract dispatched across solver worker *processes* that
   map one shared-memory graph snapshot (breaks the GIL ceiling on
-  cache-cold workloads; see ``docs/multiprocess.md``).
+  cache-cold workloads; see ``docs/multiprocess.md``);
+* :mod:`repro.serving.retention` -- the offset-bound math that lets
+  incremental engines keep cached answers across single-edge mutations
+  instead of invalidating everything (see ``docs/dynamic.md``).
 
 See ``docs/serving.md`` for the design and the determinism contract
 (batched results are byte-identical to a sequential loop for fixed
@@ -30,12 +33,14 @@ from repro.serving.engine import (
 )
 from repro.serving.epoch import EpochGate
 from repro.serving.multiproc import MultiProcessQueryEngine
+from repro.serving.retention import RetentionMeta
 
 __all__ = [
     "BatchOutcome",
     "ConcurrentQueryEngine",
     "EpochGate",
     "MultiProcessQueryEngine",
+    "RetentionMeta",
     "SingleFlightCache",
     "WORKER_NAME_PREFIX",
 ]

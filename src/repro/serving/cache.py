@@ -12,7 +12,17 @@ Entries are tagged with the cache *generation* at the time their flight
 started.  :meth:`invalidate` bumps the generation and drops every stored
 entry; a flight that started before the invalidation still hands its
 value to its waiters (they asked under the old graph) but refuses to
-store it, so a post-invalidation query can never hit a stale entry.
+store it, and callers arriving *after* the invalidation refuse to join
+it -- they wait for the stale flight to finish, then compute fresh --
+so no query issued after ``invalidate`` returns can hit a value computed
+before it.
+
+:meth:`invalidate_where` is the fine-grained variant used by incremental
+dynamic-graph serving: entries may carry opaque *metadata* (attached at
+publish time via ``get_or_compute``'s ``meta`` callback) and a keep
+predicate decides, per entry, whether it survives a mutation -- see
+:mod:`repro.serving.retention` for the bound math the serving tier
+plugs in here.
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ class SingleFlightCache:
         self._max_size = int(max_size)
         self._lock = threading.Lock()
         self._data = OrderedDict()
+        self._meta = {}
         self._flights = {}
         self._generation = 0
 
@@ -73,7 +84,17 @@ class SingleFlightCache:
         with self._lock:
             return list(self._data)
 
-    def get_or_compute(self, key, compute):
+    def entries(self):
+        """Snapshot of ``(key, value)`` pairs, LRU-first."""
+        with self._lock:
+            return list(self._data.items())
+
+    def get_meta(self, key):
+        """The metadata attached to ``key``, or None."""
+        with self._lock:
+            return self._meta.get(key)
+
+    def get_or_compute(self, key, compute, *, meta=None):
         """``(value, outcome)`` where outcome is one of:
 
         * ``"hit"`` -- served from the cache;
@@ -83,20 +104,39 @@ class SingleFlightCache:
 
         If the owning compute raises, its waiters re-raise the same
         exception; nothing is cached.
+
+        ``meta`` is an optional callable applied to the freshly computed
+        value; its result is attached to the entry atomically with the
+        store and later handed to :meth:`invalidate_where` keep
+        predicates.
+
+        A flight whose generation predates the current one (an
+        invalidation happened after it took off) is never joined: its
+        value belongs to the old graph.  Late arrivals wait for it to
+        land, then retry and compute fresh.
         """
-        with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-                return self._data[key], "hit"
-            flight = self._flights.get(key)
-            if flight is None:
-                flight = _Flight(self._generation)
-                self._flights[key] = flight
-                owner = True
-            else:
-                owner = False
-        if not owner:
+        while True:
+            with self._lock:
+                if key in self._data:
+                    self._data.move_to_end(key)
+                    return self._data[key], "hit"
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = _Flight(self._generation)
+                    self._flights[key] = flight
+                    stale = False
+                    owner = True
+                else:
+                    stale = flight.generation != self._generation
+                    owner = False
+            if owner:
+                break
             flight.event.wait()
+            if stale:
+                # The stale owner has landed (and was popped from
+                # _flights before its event fired), so the retry either
+                # owns a fresh flight or joins a current-generation one.
+                continue
             if flight.error is not None:
                 raise flight.error
             return flight.value, "coalesced"
@@ -106,6 +146,12 @@ class SingleFlightCache:
             flight.error = exc
             raise
         finally:
+            meta_value = None
+            if flight.error is None and meta is not None:
+                try:
+                    meta_value = meta(flight.value)
+                except Exception:
+                    meta_value = None  # entry stays cached, just unretainable
             with self._lock:
                 self._flights.pop(key, None)
                 publishable = (flight.error is None
@@ -113,8 +159,11 @@ class SingleFlightCache:
                                and flight.generation == self._generation)
                 if publishable:
                     self._data[key] = flight.value
+                    if meta_value is not None:
+                        self._meta[key] = meta_value
                     while len(self._data) > self._max_size:
-                        self._data.popitem(last=False)
+                        evicted, _ = self._data.popitem(last=False)
+                        self._meta.pop(evicted, None)
             flight.event.set()
         return flight.value, "miss"
 
@@ -130,4 +179,35 @@ class SingleFlightCache:
             self._generation += 1
             cleared = len(self._data)
             self._data.clear()
+            self._meta.clear()
             return cleared
+
+    def invalidate_where(self, keep):
+        """Selectively drop entries; returns ``(retained, evicted)`` keys.
+
+        ``keep(key, value, meta)`` is called under the cache lock for
+        every stored entry and must return the entry's new metadata to
+        retain it, or None to evict it (entries whose stored meta is
+        None are handed ``meta=None`` -- a keep predicate that requires
+        metadata should evict those).  The generation is bumped exactly
+        as in :meth:`invalidate`, so in-flight computes -- which ran
+        against the pre-mutation graph and have no drift bound -- are
+        fenced from storing, and late arrivals never coalesce onto them.
+        LRU order of retained entries is preserved.
+        """
+        with self._lock:
+            self._generation += 1
+            retained_data = OrderedDict()
+            retained_meta = {}
+            retained, evicted = [], []
+            for key, value in self._data.items():
+                new_meta = keep(key, value, self._meta.get(key))
+                if new_meta is None:
+                    evicted.append(key)
+                else:
+                    retained_data[key] = value
+                    retained_meta[key] = new_meta
+                    retained.append(key)
+            self._data = retained_data
+            self._meta = retained_meta
+            return retained, evicted

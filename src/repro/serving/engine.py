@@ -22,6 +22,16 @@ The determinism contract is load-bearing: ``tests/test_serving_equivalence.py``
 asserts ``query_batch`` output equals looped ``QueryEngine.query`` output
 byte for byte, which is what lets the stress tests reason about
 correctness under races.
+
+With ``incremental=True`` single-edge mutations stop being catastrophic:
+instead of dropping the whole cache, the engine computes a per-entry
+offset bound (:mod:`repro.serving.retention`) from the score mass at the
+changed edge's endpoints, keeps every cached answer whose guaranteed
+error still satisfies its accuracy contract, and repairs the evicted
+sources on the worker pool in the background rather than on the read
+path.  Cache misses are solved at ``solve_margin * eps`` so fresh
+entries carry slack to absorb future edits; the cache key and the
+contract stay at the caller's requested accuracy.
 """
 
 from __future__ import annotations
@@ -106,11 +116,25 @@ class ConcurrentQueryEngine:
         retained (older ones are dropped FIFO).  An always-on server
         enables tracing with a bounded capacity so ``/metrics`` can
         report per-phase percentiles without unbounded memory growth.
+    incremental:
+        Opt into offset-bound cache retention on single-edge mutations
+        (see :mod:`repro.serving.retention` and ``docs/dynamic.md``).
+        Off by default: the default configuration keeps the historical
+        quiesce-and-invalidate behaviour and its byte-identity
+        contracts untouched.
+    solve_margin:
+        Fraction of the contract ``eps`` the solver actually targets on
+        a cache miss, in ``(0, 1]``.  ``None`` resolves to ``0.5`` when
+        ``incremental`` else ``1.0``.  Tightening creates the error
+        slack that lets entries survive edits; ``1.0`` leaves solve
+        accuracy -- and result bytes -- exactly as before.  Ignored for
+        top-k fast-path answers (never retained) and custom solvers.
     """
 
     def __init__(self, graph, *, solver=None, accuracy=None,
                  cache_size=256, seed=0, max_workers=4, trace=False,
-                 walk_workers=1, trace_capacity=None):
+                 walk_workers=1, trace_capacity=None, incremental=False,
+                 solve_margin=None):
         from repro.serving.cache import SingleFlightCache
         from repro.serving.epoch import EpochGate
 
@@ -125,6 +149,13 @@ class ConcurrentQueryEngine:
         if trace_capacity is not None and trace_capacity < 1:
             raise ParameterError(
                 f"trace_capacity must be >= 1 or None, got {trace_capacity}"
+            )
+        if solve_margin is None:
+            solve_margin = 0.5 if incremental else 1.0
+        solve_margin = float(solve_margin)
+        if not 0.0 < solve_margin <= 1.0:
+            raise ParameterError(
+                f"solve_margin must be in (0, 1], got {solve_margin}"
             )
         self._builder = GraphBuilder(graph=graph)
         self._graph = self._builder.build()
@@ -148,6 +179,8 @@ class ConcurrentQueryEngine:
         self._walk_workers = int(walk_workers)
         self._walk_executor = None
         self._walk_lock = threading.Lock()
+        self._incremental = bool(incremental)
+        self._solve_margin = solve_margin
         self.stats = ServiceStats()
 
     # ------------------------------------------------------------------
@@ -230,7 +263,8 @@ class ConcurrentQueryEngine:
             effective = accuracy or self._accuracy
             return ((int(source), effective),
                     lambda: self._compute(graph, int(source), effective,
-                                          epoch, deadline))
+                                          epoch, deadline),
+                    self._retention_meta_factory(graph, effective))
 
         return self._serve(source, deadline, build)
 
@@ -239,9 +273,11 @@ class ConcurrentQueryEngine:
         cache lookup with single-flight dedup, coalesced-deadline retry,
         and stats accounting.
 
-        ``build(graph, epoch)`` returns ``(key, compute)`` for the
-        current snapshot; :meth:`query` and :meth:`top_k` differ only in
-        that pair.
+        ``build(graph, epoch)`` returns ``(key, compute, meta)`` for the
+        current snapshot -- ``meta`` being the retention-metadata
+        callback handed to the cache, or None when the entry can never
+        be retained across a mutation; :meth:`query` and :meth:`top_k`
+        differ only in that triple.
         """
         source = int(source)
         if deadline is not None:
@@ -264,9 +300,9 @@ class ConcurrentQueryEngine:
                         raise ParameterError(
                             f"source {source} out of range for n={graph.n}"
                         )
-                    key, compute = build(graph, epoch)
+                    key, compute, meta = build(graph, epoch)
                     result, outcome = self._cache.get_or_compute(
-                        key, compute,
+                        key, compute, meta=meta,
                     )
             except DeadlineExceededError:
                 if deadline is None or time.monotonic() < deadline:
@@ -393,10 +429,13 @@ class ConcurrentQueryEngine:
 
         def build(graph, epoch):
             effective = accuracy or self._accuracy
+            # Top-k answers carry no full estimate vector to bound, so
+            # they are never retained across mutations (meta=None).
             return (("topk", int(source), effective, k, mode),
                     lambda: self._compute_topk(graph, int(source), k,
                                                effective, mode, epoch,
-                                               deadline))
+                                               deadline),
+                    None)
 
         return self._serve(source, deadline, build, topk=True)
 
@@ -428,6 +467,45 @@ class ConcurrentQueryEngine:
                 self.stats.topk_fallback += 1
         return answer
 
+    def _solve_accuracy_for(self, graph, accuracy):
+        """Accuracy handed to the solver on a cache miss.
+
+        With the default ``solve_margin=1.0`` the caller's value passes
+        through untouched (including None, which the solver layers
+        resolve to paper defaults) -- preserving byte identity with the
+        sequential engine.  A tighter margin resolves the contract first
+        and shrinks its ``eps``, creating the retention slack.
+        """
+        if self._solve_margin == 1.0:
+            return accuracy
+        contract = accuracy or AccuracyParams.paper_defaults(graph.n)
+        return contract.with_eps(contract.eps * self._solve_margin)
+
+    def _retention_meta_factory(self, graph, accuracy):
+        """Cache-meta callback for a full-query entry, or None.
+
+        Only incremental engines with the default solver track retention
+        metadata; a custom solver gives no handle on the accuracy its
+        results actually achieve, so its entries fall back to
+        evict-on-mutation.
+        """
+        if not self._incremental or self._solver is not None:
+            return None
+        from repro.serving.retention import RetentionMeta
+
+        contract = accuracy or AccuracyParams.paper_defaults(graph.n)
+        solve_eps = contract.eps * self._solve_margin
+
+        def make(result):
+            return RetentionMeta(
+                eps_bound=solve_eps,
+                eps_contract=contract.eps,
+                delta=contract.delta,
+                alpha=float(result.alpha),
+            )
+
+        return make
+
     def _compute(self, graph, source, accuracy, epoch, deadline=None):
         inner = QueryTrace(epoch=epoch) if self._trace_enabled else None
         trace = inner
@@ -442,17 +520,22 @@ class ConcurrentQueryEngine:
             result = self._solver(graph, source, accuracy,
                                   self._seed + source)
         else:
+            solve_accuracy = (self._solve_accuracy_for(graph, accuracy)
+                              or AccuracyParams.paper_defaults(graph.n))
             result = resacc(
                 graph, source,
-                accuracy=accuracy or AccuracyParams.paper_defaults(graph.n),
+                accuracy=solve_accuracy,
                 seed=self._seed + source, trace=trace,
                 walk_workers=self._walk_workers,
                 walk_executor=self._walk_executor_for(graph),
             )
-            if deadline is not None:
-                # Cached results carry the real trace (or None), never
-                # the one-shot deadline proxy.
-                result.trace = inner
+        # Cached results carry the real trace (or None), never the
+        # one-shot deadline proxy.  Stripped on *both* solver branches: a
+        # custom solver honouring the deadline contract may attach its
+        # own proxy.
+        attached = getattr(result, "trace", None)
+        if isinstance(attached, DeadlineTrace):
+            result.trace = attached.inner or None
         self._record_solver_run(inner, time.perf_counter() - tic)
         return result
 
@@ -471,19 +554,39 @@ class ConcurrentQueryEngine:
     # ------------------------------------------------------------------
     def add_edge(self, u, v, *, undirected=False):
         """Insert an edge; returns whether the graph changed."""
-        if undirected:
-            return self._mutate(
-                lambda b: b.add_undirected_edge(u, v, grow=True)
-            )
-        return self._mutate(lambda b: b.add_edge(u, v, grow=True))
+        u, v = int(u), int(v)
+
+        def mutation(builder):
+            edits = []
+            if builder.add_edge(u, v, grow=True):
+                edits.append(("add", u, v))
+            if undirected and builder.add_edge(v, u, grow=True):
+                edits.append(("add", v, u))
+            return bool(edits), edits
+
+        return self._mutate(mutation)
 
     def remove_edge(self, u, v):
         """Remove a directed edge; returns whether it existed."""
-        return self._mutate(lambda b: b.remove_edge(u, v))
+        u, v = int(u), int(v)
+
+        def mutation(builder):
+            existed = builder.remove_edge(u, v)
+            return existed, ([("remove", u, v)] if existed else [])
+
+        return self._mutate(mutation)
 
     def remove_node(self, v):
-        """Detach a node (its id remains valid); returns edges removed."""
-        return self._mutate(lambda b: b.remove_node_edges(v))
+        """Detach a node (its id remains valid); returns edges removed.
+
+        Always a full rebuild + invalidation: the edit touches an
+        unbounded set of out-rows, so no useful per-entry bound exists.
+        """
+        def mutation(builder):
+            removed = builder.remove_node_edges(v)
+            return removed, (None if removed else [])
+
+        return self._mutate(mutation)
 
     def flush_cache(self):
         """Drop every cached result (quiesces in-flight queries first).
@@ -499,26 +602,135 @@ class ConcurrentQueryEngine:
         return cleared
 
     def _mutate(self, mutation):
+        """Apply one mutation under the write gate.
+
+        ``mutation(builder)`` returns ``(changed, edits)`` where
+        ``edits`` is a list of ``("add"|"remove", u, v)`` single-edge
+        descriptors, or None when the change is not expressible as
+        single-edge edits (node removal) and must take the full
+        rebuild-and-invalidate path.
+        """
         from repro.push.kernels import release_push_cache
 
+        repairs = []
         with self._gate.write() as gate:
-            changed = mutation(self._builder)
+            changed, edits = mutation(self._builder)
             if changed:
                 gate.advance()
                 # Release the old snapshot's push cache inside the write
                 # gate: quiescence guarantees no query is mid-push on its
                 # thresholds or scratch buffers.
-                release_push_cache(self._graph)
-                self._graph = self._builder.build()
-                cleared = self._cache.invalidate()
+                old_graph = self._graph
+                release_push_cache(old_graph)
+                self._graph = self._apply_edits(old_graph, edits)
+                repairs = self._invalidate_for(old_graph, self._graph,
+                                               edits)
                 # Retire the walk pool inside the write gate: it shares
                 # the old snapshot's CSR pages, and quiescence guarantees
                 # no query is mid-walk on it.
                 self._retire_walk_executor()
                 with self._stats_lock:
                     self.stats.updates += 1
-                    self.stats.invalidations += cleared
+        if repairs:
+            self._schedule_repairs(repairs)
         return changed
+
+    def _apply_edits(self, old_graph, edits):
+        """The post-mutation snapshot.
+
+        Single-edge edits splice the CSR arrays directly
+        (:func:`repro.graph.dynamic.insert_edge` / ``delete_edge``: one
+        memcpy each) instead of re-sorting the whole edge set; the
+        result is byte-identical to ``self._builder.build()`` because
+        the builder keeps rows sorted and deduplicated.  Edits that grow
+        the node count -- and non-edge mutations (``edits is None``) --
+        fall back to the full rebuild.
+        """
+        from repro.graph.dynamic import delete_edge, insert_edge
+
+        if edits is None or any(max(u, v) >= old_graph.n
+                                for _, u, v in edits):
+            return self._builder.build()
+        graph = old_graph
+        for op, u, v in edits:
+            graph = (insert_edge(graph, u, v) if op == "add"
+                     else delete_edge(graph, u, v))
+        return graph
+
+    def _invalidate_for(self, old_graph, new_graph, edits):
+        """Invalidate the cache for a mutation; returns keys to repair.
+
+        Incremental engines keep every entry whose offset bound still
+        satisfies its contract (:mod:`repro.serving.retention`) and
+        return the evicted keys for background repair.  Everything else
+        -- non-incremental engines, node removals, node-count growth
+        (cached estimate vectors have the wrong length) -- drops the
+        whole cache, exactly as before.
+        """
+        incremental = (self._incremental and edits is not None
+                       and new_graph.n == old_graph.n)
+        if not incremental:
+            cleared = self._cache.invalidate()
+            with self._stats_lock:
+                self.stats.invalidations += cleared
+                self.stats.extras["last_mutation"] = {
+                    "incremental": False,
+                    "retained": 0,
+                    "evicted": cleared,
+                }
+            return []
+        from repro.serving import retention
+
+        deltas = retention.row_deltas(old_graph, edits)
+        dangling = new_graph.dangling
+
+        def keep(key, value, meta):
+            if meta is None:
+                return None
+            return retention.survives(meta, value.estimates, deltas,
+                                      dangling)
+
+        retained, evicted = self._cache.invalidate_where(keep)
+        with self._stats_lock:
+            self.stats.invalidations += len(evicted)
+            self.stats.entries_retained += len(retained)
+            self.stats.extras["last_mutation"] = {
+                "incremental": True,
+                "retained": len(retained),
+                "evicted": len(evicted),
+                "retained_sources": [key[0] for key in retained
+                                     if key[0] != "topk"],
+            }
+        return evicted
+
+    def _schedule_repairs(self, keys):
+        """Recompute evicted entries on the worker pool, off the read path.
+
+        Each repair is an ordinary :meth:`query` / :meth:`top_k` call:
+        it single-flights with any racing real read, lands in the cache
+        with fresh retention metadata, and is counted in
+        ``entries_repaired``.  Failures (shrunken graph, shutdown races)
+        are swallowed -- a repair is best-effort; the read path stays
+        correct without it.
+        """
+        for key in keys:
+            try:
+                self._executor.submit(self._repair, key)
+            except RuntimeError:
+                break  # pool already shut down
+
+    def _repair(self, key):
+        try:
+            if key[0] == "topk":
+                _, source, accuracy, k, mode = key
+                self.top_k(source, k, accuracy=accuracy, mode=mode)
+            else:
+                source, accuracy = key
+                self.query(source, accuracy=accuracy)
+        except Exception:
+            return
+        with self._stats_lock:
+            self.stats.entries_repaired += 1
 
     # ------------------------------------------------------------------
     # Observability

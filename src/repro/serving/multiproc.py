@@ -184,15 +184,19 @@ class MultiProcessQueryEngine(ConcurrentQueryEngine):
         ``"spawn"`` (fork-unsafe libraries and threaded callers are the
         norm here, and the shared-memory graph makes spawn cheap per
         query).
-    accuracy / cache_size / seed / trace / trace_capacity:
-        As in the base engine.  ``walk_workers`` is intentionally not
-        exposed: parallelism lives across queries here, and nesting a
-        walk pool inside every solver worker would oversubscribe cores.
+    accuracy / cache_size / seed / trace / trace_capacity /
+    incremental / solve_margin:
+        As in the base engine (retention bookkeeping lives entirely on
+        the dispatcher side -- workers just solve at the accuracy they
+        are handed).  ``walk_workers`` is intentionally not exposed:
+        parallelism lives across queries here, and nesting a walk pool
+        inside every solver worker would oversubscribe cores.
     """
 
     def __init__(self, graph, *, solver_workers=4, dispatch_workers=None,
                  accuracy=None, cache_size=256, seed=0, trace=False,
-                 trace_capacity=None, crash_retries=1, mp_context="spawn"):
+                 trace_capacity=None, crash_retries=1, mp_context="spawn",
+                 incremental=False, solve_margin=None):
         if solver_workers < 1:
             raise ParameterError(
                 f"solver_workers must be >= 1, got {solver_workers}"
@@ -206,7 +210,8 @@ class MultiProcessQueryEngine(ConcurrentQueryEngine):
         super().__init__(
             graph, accuracy=accuracy, cache_size=cache_size, seed=seed,
             max_workers=dispatch_workers, trace=trace, walk_workers=1,
-            trace_capacity=trace_capacity,
+            trace_capacity=trace_capacity, incremental=incremental,
+            solve_margin=solve_margin,
         )
         self._solver_workers = int(solver_workers)
         self._crash_retries = int(crash_retries)
@@ -343,8 +348,13 @@ class MultiProcessQueryEngine(ConcurrentQueryEngine):
 
     def _compute(self, graph, source, accuracy, epoch, deadline=None):
         tic = time.perf_counter()
+        # Margin tightening resolves dispatcher-side; with the default
+        # margin the contract passes through untouched (None included)
+        # and the worker derives paper defaults from the same n --
+        # byte-identical either way.
+        solve_accuracy = self._solve_accuracy_for(graph, accuracy)
         result = self._run_in_pool(
-            graph, source, deadline, _solve_task, source, accuracy,
+            graph, source, deadline, _solve_task, source, solve_accuracy,
             self._seed + source, self._trace_enabled, deadline, epoch,
         )
         self._record_solver_run(result.trace, time.perf_counter() - tic)

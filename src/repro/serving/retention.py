@@ -1,0 +1,157 @@
+"""Offset-bound retention of cached answers across single-edge edits.
+
+The serving tier used to treat every graph mutation as catastrophic:
+the whole ``SingleFlightCache`` was generation-fenced away even when
+the edit provably could not move a cached answer outside its accuracy
+contract.  This module implements the bound-aware alternative, in the
+spirit of the dynamic-RWR *offset* formulation (Yoon et al.,
+arXiv:1712.00595): propagate the score mass at the changed edge's
+endpoints into a worst-case drift bound per cached source, and keep the
+entries whose guaranteed error still satisfies their
+:class:`~repro.core.params.AccuracyParams`.
+
+Theory
+------
+RWR satisfies ``pi = alpha * e_s + (1 - alpha) * P^T pi`` with ``P`` the
+out-degree-normalized transition matrix.  After an edit ``P -> P'``,
+writing ``q = (1 - alpha) * (P'^T - P^T) pi``::
+
+    pi' - pi = (I - (1 - alpha) * P'^T)^{-1} q
+    =>  |pi'[t] - pi[t]| <= ||pi' - pi||_1 <= ||q||_1 / alpha
+
+because the column sums of ``P'`` are at most one, so the Neumann series
+amplifies L1 mass by at most ``1 / (1 - (1 - alpha)) = 1 / alpha``.
+Only the edited out-rows of ``P`` contribute to ``q``::
+
+    ||q||_1 <= (1 - alpha) * sum_u rho_u * pi[u]
+
+where ``rho_u = ||P'[u, :] - P[u, :]||_1`` (see
+:func:`row_change_norm`) and the sum runs over the changed rows.  The
+per-entry **offset bound** is therefore::
+
+    B = (1 - alpha) / alpha * sum_u rho_u * pi_upper[u]
+
+Retention invariant
+-------------------
+Each retained entry maintains the (FORA-style, Definition-1-implying)
+invariant ``|est[t] - pi[t]| <= eps * max(pi[t], delta)`` for all ``t``,
+where ``eps`` is the entry's tracked ``eps_bound``.  Freshly-solved
+entries start at the solver's (possibly margin-tightened) epsilon.  The
+invariant gives an upper bound on the *current* true score at a changed
+node, ``pi_upper[u] = max(delta, est[u] / (1 - eps))``, valid while
+``eps < 1``.  After an edit with offset bound ``B`` the invariant is
+re-established with::
+
+    eps' = eps + (1 + eps) * B / delta
+
+(the worst case divides the absolute drift ``B`` by the smallest score
+the contract cares about, and the old estimate may additionally sit
+``eps`` above a score that has since moved).  The entry survives iff
+``eps' <= eps_contract`` and ``eps' < 1``; otherwise it is evicted and
+repaired in the background.  Entries solved exactly at the contract
+epsilon have zero slack, which is why incremental engines tighten cache
+misses by ``solve_margin`` (see :mod:`repro.serving.engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "RetentionMeta",
+    "drifted_eps",
+    "row_change_norm",
+    "row_deltas",
+    "survives",
+]
+
+
+@dataclass(frozen=True)
+class RetentionMeta:
+    """Per-cache-entry accuracy bookkeeping for incremental retention.
+
+    ``eps_bound`` is the entry's current guaranteed relative error under
+    the invariant above (solver epsilon plus accumulated drift);
+    ``eps_contract``/``delta`` restate the contract
+    :class:`~repro.core.params.AccuracyParams` the entry must keep
+    satisfying; ``alpha`` is the restart probability the answer was
+    computed with.
+    """
+
+    eps_bound: float
+    eps_contract: float
+    delta: float
+    alpha: float
+
+    @property
+    def slack(self):
+        """Remaining relative-error budget before eviction."""
+        return max(0.0, min(self.eps_contract, 1.0) - self.eps_bound)
+
+
+def row_change_norm(d_old, d_new, dangling):
+    """L1 change of one out-row of ``P`` when out-degree goes d_old -> d_new.
+
+    Rows are uniform over out-neighbors.  Adding (or removing) ``k``
+    targets to a non-dangling row moves ``k / max(d_old, d_new)`` mass
+    off each side of the symmetric difference, for a total of
+    ``2k / max(d_old, d_new)``.  Transitions to or from a dangling row
+    depend on the dangling policy: under ``"absorb"`` the dangling row
+    is zero (L1 change 1), under ``"restart"`` it is ``e_s`` (L1 change
+    at most 2).
+    """
+    d_old, d_new = int(d_old), int(d_new)
+    if d_old == d_new:
+        return 0.0
+    if d_old == 0 or d_new == 0:
+        return 1.0 if dangling == "absorb" else 2.0
+    return 2.0 * abs(d_new - d_old) / max(d_old, d_new)
+
+
+def row_deltas(old_graph, edits):
+    """Expand edit descriptors into per-row ``(node, d_old, d_new)`` steps.
+
+    ``edits`` is a sequence of ``(op, u, v)`` with ``op`` in
+    ``{"add", "remove"}``; each edit changes out-row ``u`` by one
+    target.  Degrees are tracked stepwise so several edits touching the
+    same row compose correctly.
+    """
+    degrees = {}
+    deltas = []
+    for op, u, v in edits:
+        u = int(u)
+        d_old = degrees.get(u, int(old_graph.out_degree(u)))
+        d_new = d_old + (1 if op == "add" else -1)
+        degrees[u] = d_new
+        deltas.append((u, d_old, d_new))
+    return deltas
+
+
+def drifted_eps(meta, estimates, deltas, dangling):
+    """``eps_bound`` after applying ``deltas``, or None when unbounded.
+
+    Applies the inductive update once per changed row, in order; returns
+    None as soon as the invariant can no longer be maintained
+    (``eps >= 1`` makes the ``est / (1 - eps)`` upper bound vacuous).
+    """
+    eps = float(meta.eps_bound)
+    gain = (1.0 - meta.alpha) / meta.alpha
+    for node, d_old, d_new in deltas:
+        if eps >= 1.0:
+            return None
+        rho = row_change_norm(d_old, d_new, dangling)
+        if rho == 0.0:
+            continue
+        pi_upper = min(1.0, max(meta.delta,
+                                float(estimates[node]) / (1.0 - eps)))
+        bound = gain * rho * pi_upper
+        eps = eps + (1.0 + eps) * bound / meta.delta
+    return eps if eps < 1.0 else None
+
+
+def survives(meta, estimates, deltas, dangling):
+    """Updated meta when the entry still satisfies its contract, else None."""
+    eps = drifted_eps(meta, estimates, deltas, dangling)
+    if eps is None or eps > meta.eps_contract:
+        return None
+    return replace(meta, eps_bound=eps)

@@ -219,3 +219,58 @@ class TestTopKBenchmark:
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
         assert module.KNOWN_METRICS["repro-topk-bench"] == ("speedup",)
+
+
+class TestDynamicBenchmark:
+    def test_doc_shape_and_headline_metrics(self):
+        from repro.bench import DYNAMIC_BENCH_KIND, dynamic_benchmark
+        from tests.test_serving_dynamic import broadcaster_graph
+
+        graph = broadcaster_graph()
+        # random_seeds may land sources anywhere, including on the
+        # broadcaster's leaves (score mass on the only degree >= 2
+        # site); the relaxed delta and tight solve margin guarantee a
+        # first-edit drift below budget for any source placement.
+        accuracy = AccuracyParams(eps=0.5, delta=0.3, p_f=1.0 / graph.n)
+        doc = dynamic_benchmark(graph, num_unique=3, rounds=3,
+                                write_every=4, accuracy=accuracy,
+                                solve_margin=0.25, num_workers=2, seed=0)
+        assert doc["kind"] == DYNAMIC_BENCH_KIND
+        assert doc["workload"]["write_fraction"] == pytest.approx(1 / 5)
+        for variant in ("read_only", "quiesce", "incremental"):
+            entry = doc[variant]
+            assert entry["reads"] == 9
+            assert entry["p95_read_seconds"] >= entry["p50_read_seconds"]
+        assert doc["read_only"]["writes"] == 0
+        assert doc["incremental"]["writes"] == 2
+        # The quiesce variant never retains; the incremental one does
+        # at the benchmark's low-impact mutation site.
+        assert doc["quiesce"]["stats"]["entries_retained"] == 0
+        assert doc["incremental"]["stats"]["entries_retained"] > 0
+        assert 0.0 < doc["retention_rate"] <= 1.0
+        assert doc["p95_ratio_vs_read_only"] > 0
+        assert doc["retained_within_contract"] is True
+
+    def test_cli_dynamic_parser_defaults(self):
+        args = build_parser().parse_args(["dynamic", "dblp"])
+        assert args.sources == 8
+        assert args.rounds == 12
+        assert args.write_every == 8
+        assert args.solve_margin == 0.5
+        assert args.delta_scale == 1.0
+        assert args.min_retention is None
+        assert args.max_p95_ratio is None
+
+    def test_trend_kind_registered(self):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_trend",
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "bench_trend.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.KNOWN_METRICS["repro-dynamic-bench"] == (
+            "retention_rate",)

@@ -1,0 +1,190 @@
+"""Tests for the dynamic-graph mutation helpers.
+
+Covers the single-edge delta edits (`insert_edge` / `delete_edge`) --
+including their byte-identity with a full `from_edges` rebuild -- and
+the bulk helpers' edge cases: multiset `delete_edges` semantics on
+parallel edges, empty update lists, `add_edges(grow=True)` node growth,
+and the `delete_nodes(relabel=True)` id-mapping round trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    CSRGraph,
+    add_edges,
+    delete_edge,
+    delete_edges,
+    delete_nodes,
+    from_edges,
+    insert_edge,
+)
+from repro.graph import generators
+
+
+def multigraph():
+    """3 nodes, parallel edges: 0->1 (x2), 1->2 (x3), 2->0."""
+    return CSRGraph(
+        3,
+        np.array([0, 2, 5, 6], dtype=np.int64),
+        np.array([1, 1, 2, 2, 2, 0], dtype=np.int64),
+        validate=False,
+    )
+
+
+class TestSingleEdgeDelta:
+    def test_insert_matches_full_rebuild(self):
+        g = generators.preferential_attachment(60, 2, seed=3)
+        missing = [(u, v) for u in range(8) for v in range(8)
+                   if u != v and not g.has_edge(u, v)]
+        for u, v in missing[:5]:
+            delta = insert_edge(g, u, v)
+            rebuilt = from_edges(
+                g.n, np.vstack([g.edge_array(), [[u, v]]]),
+                dangling=g.dangling,
+            )
+            np.testing.assert_array_equal(delta.indptr, rebuilt.indptr)
+            np.testing.assert_array_equal(delta.indices, rebuilt.indices)
+
+    def test_delete_matches_full_rebuild(self):
+        g = generators.preferential_attachment(60, 2, seed=3)
+        edges = g.edge_array()
+        for u, v in edges[:5]:
+            delta = delete_edge(g, u, v)
+            keep = ~((edges[:, 0] == u) & (edges[:, 1] == v))
+            rebuilt = from_edges(g.n, edges[keep], dangling=g.dangling)
+            np.testing.assert_array_equal(delta.indptr, rebuilt.indptr)
+            np.testing.assert_array_equal(delta.indices, rebuilt.indices)
+
+    def test_insert_then_delete_round_trips(self):
+        g = generators.preferential_attachment(40, 2, seed=1)
+        u, v = next((u, v) for u in range(10) for v in range(10)
+                    if u != v and not g.has_edge(u, v))
+        back = delete_edge(insert_edge(g, u, v), u, v)
+        np.testing.assert_array_equal(back.indptr, g.indptr)
+        np.testing.assert_array_equal(back.indices, g.indices)
+
+    def test_insert_rejects_self_loop_and_out_of_range(self):
+        g = from_edges(3, [(0, 1)])
+        with pytest.raises(GraphFormatError):
+            insert_edge(g, 1, 1)
+        with pytest.raises(GraphFormatError):
+            insert_edge(g, 0, 3)
+
+    def test_delete_missing_edge_raises(self):
+        g = from_edges(3, [(0, 1)])
+        with pytest.raises(GraphFormatError):
+            delete_edge(g, 1, 2)
+
+    def test_insert_on_multigraph_adds_a_copy(self):
+        g = multigraph()
+        g2 = insert_edge(g, 0, 1)
+        assert g2.m == g.m + 1
+        assert list(g2.out_neighbors(0)) == [1, 1, 1]
+
+    def test_delete_on_multigraph_removes_one_copy(self):
+        g = multigraph()
+        g2 = delete_edge(g, 1, 2)
+        assert g2.m == g.m - 1
+        assert list(g2.out_neighbors(1)) == [2, 2]
+
+
+class TestDeleteEdgesMultiset:
+    def test_one_listed_occurrence_removes_one_copy(self):
+        g = multigraph()
+        g2 = delete_edges(g, [(0, 1)])
+        assert g2.m == 5
+        assert list(g2.out_neighbors(0)) == [1]
+
+    def test_listing_twice_removes_both_copies(self):
+        g = multigraph()
+        g2 = delete_edges(g, [(0, 1), (0, 1)])
+        assert g2.m == 4
+        assert list(g2.out_neighbors(0)) == []
+
+    def test_requests_beyond_multiplicity_are_capped(self):
+        g = multigraph()
+        g2 = delete_edges(g, [(2, 0)] * 5)
+        assert g2.m == 5
+        assert list(g2.out_neighbors(2)) == []
+
+    def test_missing_and_out_of_range_edges_ignored(self):
+        g = multigraph()
+        g2 = delete_edges(g, [(0, 2), (-1, 0), (2, 99)])
+        assert g2.m == g.m
+        np.testing.assert_array_equal(g2.indices, g.indices)
+
+    def test_matches_naive_reference_on_random_multigraph(self):
+        rng = np.random.default_rng(7)
+        n = 12
+        edges = rng.integers(0, n, size=(80, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        edges = edges[order]
+        counts = np.bincount(edges[:, 0], minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        g = CSRGraph(n, indptr, edges[:, 1].copy(), validate=False)
+        drops = [tuple(e) for e in rng.choice(edges, size=30)]
+        drops += [(0, 1), (n - 1, 0)]  # maybe-absent edges
+
+        remaining = [tuple(e) for e in g.edge_array()]
+        for edge in drops:
+            if edge in remaining:
+                remaining.remove(edge)  # one copy per listed occurrence
+        expected = sorted(remaining)
+
+        g2 = delete_edges(g, drops)
+        assert sorted(tuple(e) for e in g2.edge_array()) == expected
+
+
+class TestEmptyUpdates:
+    def test_delete_edges_empty_preserves_multiplicity(self):
+        g = multigraph()
+        g2 = delete_edges(g, [])
+        assert g2.m == g.m
+        np.testing.assert_array_equal(g2.indptr, g.indptr)
+        np.testing.assert_array_equal(g2.indices, g.indices)
+
+    def test_add_edges_empty_is_identity(self):
+        g = generators.preferential_attachment(30, 2, seed=0)
+        g2 = add_edges(g, [])
+        assert g2.n == g.n
+        np.testing.assert_array_equal(g2.indptr, g.indptr)
+        np.testing.assert_array_equal(g2.indices, g.indices)
+
+    def test_delete_nodes_empty_is_identity(self):
+        g = generators.preferential_attachment(30, 2, seed=0)
+        g2 = delete_nodes(g, [])
+        assert g2.n == g.n
+        assert g2.m == g.m
+
+
+class TestGrowthAndRelabel:
+    def test_add_edges_grow_extends_node_count(self):
+        g = from_edges(3, [(0, 1), (1, 2)])
+        g2 = add_edges(g, [(2, 5)], grow=True)
+        assert g2.n == 6
+        assert g2.has_edge(2, 5)
+        assert g2.has_edge(0, 1)
+
+    def test_add_edges_without_grow_rejects_new_ids(self):
+        g = from_edges(3, [(0, 1)])
+        with pytest.raises(GraphFormatError):
+            add_edges(g, [(0, 7)])
+
+    def test_delete_nodes_relabel_round_trip(self):
+        g = generators.preferential_attachment(30, 2, seed=5)
+        doomed = [3, 11, 20]
+        g2, survivors = delete_nodes(g, doomed, relabel=True)
+        assert g2.n == g.n - len(doomed)
+        assert not set(doomed) & set(survivors.tolist())
+        # Every surviving edge maps back to an original edge between
+        # surviving endpoints, and every such original edge is present.
+        back = {(int(survivors[u]), int(survivors[v]))
+                for u, v in g2.edge_array()}
+        doomed_set = set(doomed)
+        original = {(int(u), int(v)) for u, v in g.edge_array()
+                    if u not in doomed_set and v not in doomed_set}
+        assert back == original

@@ -318,8 +318,12 @@ class TestMutation:
                 before = client.query(0)
                 assert before["epoch"] == 0
                 doc = client.add_edge(0, 299, undirected=True)
-                assert doc == {"op": "add_edge", "changed": True,
-                               "epoch": 1}
+                assert doc["op"] == "add_edge"
+                assert doc["changed"] is True
+                assert doc["epoch"] == 1
+                # Non-incremental engine: the mutation cleared the cache.
+                assert doc["cache"]["incremental"] is False
+                assert doc["cache"]["retained"] == 0
                 after = client.query(0)
                 assert after["epoch"] == 1
                 assert after["estimates"] != before["estimates"]

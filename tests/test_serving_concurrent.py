@@ -356,6 +356,58 @@ def test_single_flight_cache_does_not_publish_across_invalidation():
     assert (value, outcome) == ("fresh", "miss")
 
 
+def test_late_arrival_never_joins_pre_invalidation_flight():
+    """A caller arriving *after* invalidate() must not coalesce onto a
+    flight that took off before it -- that flight's value belongs to the
+    old graph.  It has to wait the stale flight out and compute fresh.
+
+    Regression test: the cache used to join any in-flight compute for
+    the key regardless of generation, deterministically handing the
+    late caller the pre-invalidation value as ("old", "coalesced").
+    """
+    cache = SingleFlightCache(max_size=8)
+    computing = threading.Event()
+    release = threading.Event()
+
+    def slow_compute():
+        computing.set()
+        assert release.wait(JOIN_TIMEOUT)
+        return "old"
+
+    first = {}
+
+    def owner():
+        first["value"], first["outcome"] = cache.get_or_compute(
+            "k", slow_compute
+        )
+
+    owner_thread = threading.Thread(target=owner, daemon=True)
+    owner_thread.start()
+    assert computing.wait(JOIN_TIMEOUT)
+    cache.invalidate()  # everything computed before this point is stale
+
+    late = {}
+    done = threading.Event()
+
+    def late_caller():
+        late["value"], late["outcome"] = cache.get_or_compute(
+            "k", lambda: "fresh"
+        )
+        done.set()
+
+    late_thread = threading.Thread(target=late_caller, daemon=True)
+    late_thread.start()
+    # The late caller must block behind the stale flight, not share its
+    # value: nothing to assert yet means it is (correctly) waiting.
+    assert not done.wait(0.2)
+    release.set()
+    owner_thread.join(JOIN_TIMEOUT)
+    assert done.wait(JOIN_TIMEOUT)
+    late_thread.join(JOIN_TIMEOUT)
+    assert first["value"] == "old"  # pre-invalidation caller still served
+    assert (late["value"], late["outcome"]) == ("fresh", "miss")
+
+
 def test_lru_eviction_is_thread_safe():
     cache = SingleFlightCache(max_size=4)
 

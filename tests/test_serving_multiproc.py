@@ -185,3 +185,39 @@ def test_close_is_idempotent_and_releases_shared_memory():
     engine.close()
     assert engine.worker_pids() == []
     engine.close()  # second close is a no-op
+
+
+def test_incremental_retention_and_repair_across_processes():
+    """`incremental=True` carries over: a low-impact edit (high-degree
+    broadcaster the sources put no mass on) keeps cached answers, a
+    high-impact one (degree 1 -> 2 under score mass) evicts and repairs
+    them in the background.  The solve-margin tightening is resolved
+    dispatcher-side, so the worker protocol is unchanged."""
+    from tests.test_serving_dynamic import (
+        BROADCASTER,
+        CYCLE,
+        SOURCES,
+        broadcaster_graph,
+    )
+
+    graph = broadcaster_graph()
+    accuracy = AccuracyParams.paper_defaults(graph.n)
+    with make_engine(graph, accuracy=accuracy, seed=0,
+                     incremental=True) as engine:
+        engine.warm_up()
+        engine.query_batch(SOURCES)
+        assert engine.add_edge(BROADCASTER, CYCLE[-1])
+        last = engine.stats.extras["last_mutation"]
+        assert last["incremental"] is True
+        assert last["retained"] == len(SOURCES)
+        hits = engine.stats.cache_hits
+        for source in SOURCES:
+            engine.query(source)  # retained entries serve as hits
+        assert engine.stats.cache_hits == hits + len(SOURCES)
+
+        assert engine.add_edge(CYCLE[2], BROADCASTER)
+        assert engine.stats.extras["last_mutation"]["retained"] == 0
+        deadline = time.monotonic() + 30.0
+        while engine.stats.entries_repaired < len(SOURCES):
+            assert time.monotonic() < deadline, "repairs never landed"
+            time.sleep(0.02)
