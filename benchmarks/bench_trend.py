@@ -32,6 +32,7 @@ KNOWN_METRICS = {
     "repro-http-bench": ("qps",),
     "repro-walks-bench": ("speedup",),
     "repro-push-bench": ("speedup",),
+    "repro-powerpush-bench": ("speedup",),
     "repro-topk-bench": ("speedup",),
     # Latency ratios are too jittery for the 15%-drop gate;
     # retention is the deterministic headline.

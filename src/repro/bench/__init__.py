@@ -6,6 +6,7 @@ from repro.bench.extensions import EXTENSION_EXPERIMENTS
 from repro.bench.harness import (
     DYNAMIC_BENCH_KIND,
     HTTP_BENCH_KIND,
+    POWERPUSH_BENCH_KIND,
     PUSH_BENCH_KIND,
     SERVING_BENCH_KIND,
     TOPK_BENCH_KIND,
@@ -15,6 +16,7 @@ from repro.bench.harness import (
     dynamic_benchmark,
     export_suite_traces,
     http_benchmark,
+    powerpush_benchmark,
     push_benchmark,
     run_suite,
     serving_benchmark,
@@ -39,6 +41,7 @@ __all__ = [
     "GroundTruthCache",
     "HTTP_BENCH_KIND",
     "MAIN_EXPERIMENTS",
+    "POWERPUSH_BENCH_KIND",
     "PUSH_BENCH_KIND",
     "SERVING_BENCH_KIND",
     "Series",
@@ -48,6 +51,7 @@ __all__ = [
     "dynamic_benchmark",
     "export_suite_traces",
     "http_benchmark",
+    "powerpush_benchmark",
     "push_benchmark",
     "render_all",
     "run_suite",

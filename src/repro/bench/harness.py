@@ -489,6 +489,88 @@ def push_benchmark(graph, *, num_sources=8, h=1, alpha=0.2, seed=0,
     return doc
 
 
+POWERPUSH_BENCH_KIND = "repro-powerpush-bench"
+
+
+def powerpush_benchmark(graph, *, batch_size=32, repeats=3, accuracy=None,
+                        seed=0, equivalence_tol=1e-12):
+    """Blocked multi-source PowerPush vs. the per-source loop.
+
+    Times a *cold* batch of ``batch_size`` unique sources two ways over
+    identical inputs: one :func:`repro.core.powerpush.powerpush` call
+    per source, and one blocked
+    :func:`repro.core.powerpush.powerpush_batch` solve in which all
+    sources share each global sweep as an ``(n, B)`` transpose-SpMV.
+    Both run against the same warm snapshot cache (the cached ``A^T``
+    power operator is an index structure, not per-source work), each
+    repeated ``repeats`` times with the best run kept, exactly the
+    :func:`push_benchmark` convention.
+
+    The accuracy contract is checked the strong way: the blocked
+    answers must match the per-source loop within ``equivalence_tol``
+    per source (``byte_identical`` reports whether they match bit for
+    bit, which the kernel's width-independent accumulation order makes
+    the expected outcome -- see ``docs/powerpush.md``).
+
+    Returns a JSON-safe dict (``kind = "repro-powerpush-bench"``).
+    """
+    from repro.core.powerpush import powerpush, powerpush_batch
+
+    accuracy = accuracy or AccuracyParams.paper_defaults(graph.n)
+    sources = [int(s) for s in random_seeds(graph, batch_size, seed=seed)]
+
+    def loop():
+        return [powerpush(graph, s, accuracy=accuracy) for s in sources]
+
+    def block():
+        return powerpush_batch(graph, sources, accuracy=accuracy)
+
+    # Warm the snapshot cache (thresholds, A^T operator, scratch pools)
+    # outside the timed region, as every bench here does.
+    powerpush(graph, sources[0], accuracy=accuracy)
+
+    loop_results, t_loop = timed(loop)
+    loop_times = [t_loop]
+    for _ in range(max(0, int(repeats) - 1)):
+        _, t = timed(loop)
+        loop_times.append(t)
+    block_results, t_block = timed(block)
+    block_times = [t_block]
+    for _ in range(max(0, int(repeats) - 1)):
+        _, t = timed(block)
+        block_times.append(t)
+
+    max_gap = max(
+        float(np.max(np.abs(a.estimates - b.estimates)))
+        for a, b in zip(loop_results, block_results)
+    )
+    identical = all(
+        a.estimates.tobytes() == b.estimates.tobytes()
+        for a, b in zip(loop_results, block_results)
+    )
+    loop_best = min(loop_times)
+    block_best = min(block_times)
+    return {
+        "kind": POWERPUSH_BENCH_KIND,
+        "graph": {"n": graph.n, "m": graph.m},
+        "accuracy": {"eps": accuracy.eps, "delta": accuracy.delta,
+                     "p_f": accuracy.p_f},
+        "batch_size": len(sources),
+        "sources": sources,
+        "seed": seed,
+        "repeats": int(repeats),
+        "loop_seconds": loop_best,
+        "block_seconds": block_best,
+        "speedup": (loop_best / block_best
+                    if block_best > 0 else float("inf")),
+        "sweeps": [int(r.extras["sweeps"]) for r in block_results],
+        "equivalence_tol": equivalence_tol,
+        "max_abs_gap": max_gap,
+        "within_tol": max_gap <= equivalence_tol,
+        "byte_identical": identical,
+    }
+
+
 #: Engine choices understood by :func:`serving_benchmark` (and the
 #: ``repro-bench serve-batch --engine`` / ``repro-serve --engine`` flags).
 SERVING_ENGINES = ("threads", "multiproc")

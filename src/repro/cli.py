@@ -157,6 +157,27 @@ def build_parser():
     push_cmd.add_argument("--min-speedup", type=float, default=None,
                           help="exit non-zero unless the end-to-end "
                                "hhop+omfwd speedup reaches this")
+    pp_cmd = sub.add_parser(
+        "powerpush",
+        help="benchmark blocked multi-source PowerPush vs. the "
+             "per-source loop (see docs/powerpush.md)",
+    )
+    pp_cmd.add_argument("dataset", help="dataset name from the catalog")
+    pp_cmd.add_argument("--batch", type=int, default=32,
+                        help="unique cold sources per batch")
+    pp_cmd.add_argument("--repeats", type=int, default=3,
+                        help="timed passes per variant (best reported)")
+    pp_cmd.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor")
+    pp_cmd.add_argument("--seed", type=int, default=0)
+    pp_cmd.add_argument("--delta-scale", type=float, default=1.0,
+                        help="relax delta to this multiple of 1/n")
+    pp_cmd.add_argument("--json", metavar="PATH", default=None,
+                        help="write the benchmark document "
+                             "(e.g. BENCH_powerpush.json)")
+    pp_cmd.add_argument("--min-speedup", type=float, default=None,
+                        help="exit non-zero unless the blocked-vs-loop "
+                             "speedup reaches this")
     topk_cmd = sub.add_parser(
         "topk",
         help="benchmark the early-terminating top-k fast path vs. the "
@@ -277,6 +298,8 @@ def main(argv=None):
         return _run_walks_bench(args)
     if args.command == "push":
         return _run_push_bench(args)
+    if args.command == "powerpush":
+        return _run_powerpush_bench(args)
     if args.command == "topk":
         return _run_topk_bench(args)
     if args.command == "dynamic":
@@ -570,6 +593,57 @@ def _run_push_bench(args):
         return 1
     if not doc["mass_conserved"]:
         print("reserve + residue mass drifted from 1", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and doc["speedup"] < args.min_speedup:
+        print(f"speedup {doc['speedup']:.2f}x below required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_powerpush_bench(args):
+    import json
+
+    from repro.bench.harness import powerpush_benchmark
+    from repro.core.params import AccuracyParams
+    from repro.datasets import catalog
+    from repro.errors import ParameterError
+
+    try:
+        graph = catalog.load(args.dataset, scale=args.scale)
+        accuracy = AccuracyParams.paper_defaults(
+            graph.n, delta_scale=args.delta_scale,
+        )
+        doc = powerpush_benchmark(
+            graph, batch_size=args.batch, repeats=args.repeats,
+            accuracy=accuracy, seed=args.seed,
+        )
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"{args.dataset} (n={graph.n}, m={graph.m})  "
+          f"batch={doc['batch_size']}, eps={doc['accuracy']['eps']:g}, "
+          f"delta={doc['accuracy']['delta']:g}")
+    print(f"  per-source loop    {doc['loop_seconds']:8.4f} s")
+    print(f"  blocked batch      {doc['block_seconds']:8.4f} s  "
+          f"({doc['speedup']:.2f}x)")
+    print(f"  sweeps per source: min {min(doc['sweeps'])}, "
+          f"max {max(doc['sweeps'])}")
+    print(f"  max |blocked - loop| {doc['max_abs_gap']:.2e} "
+          f"(tol {doc['equivalence_tol']:.0e}), "
+          f"byte-identical: {doc['byte_identical']}")
+    if args.json:
+        from pathlib import Path
+
+        from repro.obs.export import _json_safe
+
+        path = Path(args.json)
+        path.write_text(json.dumps(_json_safe(doc), indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"  written to {path}")
+    if not doc["within_tol"]:
+        print(f"blocked answers diverged from the per-source loop by "
+              f"{doc['max_abs_gap']:.2e}", file=sys.stderr)
         return 1
     if args.min_speedup is not None and doc["speedup"] < args.min_speedup:
         print(f"speedup {doc['speedup']:.2f}x below required "

@@ -13,6 +13,14 @@ from repro.core.params import (
     ResAccParams,
     fora_r_max,
 )
+from repro.core.powerpush import (
+    SOLVER_ENV,
+    SOLVERS,
+    get_solver,
+    powerpush,
+    powerpush_batch,
+    resolve_solver,
+)
 from repro.core.remedy import RemedyOutcome, remedy
 from repro.core.resacc import resacc
 from repro.core.result import SSRWRResult, top_k_order
@@ -35,12 +43,15 @@ __all__ = [
     "MSRWRResult",
     "RemedyOutcome",
     "ResAccParams",
+    "SOLVERS",
+    "SOLVER_ENV",
     "SSRWRResult",
     "TopKAnswer",
     "TopKResult",
     "answer_top_k",
     "exact_ppr",
     "fora_r_max",
+    "get_solver",
     "h_hop_forward",
     "load_result",
     "msrwr",
@@ -51,9 +62,12 @@ __all__ = [
     "oaop_reference",
     "omfwd",
     "personalized_pagerank",
+    "powerpush",
+    "powerpush_batch",
     "remedy",
     "resacc",
     "residue_sum",
+    "resolve_solver",
     "save_result",
     "top_k_order",
     "topk_certified",

@@ -2,7 +2,11 @@
 
 The paper extends every SSRWR algorithm to MSRWR by running it once per
 source.  :func:`msrwr` wraps that loop, records per-source timings and
-exposes the estimates as a ``(|S|, n)`` matrix.
+exposes the estimates as a ``(|S|, n)`` matrix.  When the solver is
+PowerPush (by name, or the :func:`repro.core.powerpush.powerpush`
+callable itself), the loop is replaced by one blocked
+:func:`~repro.core.powerpush.powerpush_batch` solve -- byte-identical
+results, one shared global sweep instead of ``|S|``.
 """
 
 from __future__ import annotations
@@ -27,24 +31,40 @@ class MSRWRResult:
     per_source_seconds: list = field(default_factory=list)
     results: list = field(default_factory=list)
 
+    def __post_init__(self):
+        # source -> row, built once: for_source used to pay an O(|S|)
+        # list.index scan per lookup, which made dense consumers
+        # (sweeping every source of a big result) accidentally
+        # quadratic.
+        self._rows = {int(s): i for i, s in enumerate(self.sources)}
+
     @property
     def total_seconds(self):
         return float(sum(self.per_source_seconds))
 
     def for_source(self, s):
-        """The estimate vector of one source."""
-        try:
-            idx = self.sources.index(int(s))
-        except ValueError as exc:
-            raise ParameterError(f"source {s} not in this result") from exc
+        """The estimate vector of one source (O(1) lookup)."""
+        idx = self._rows.get(int(s))
+        if idx is None:
+            raise ParameterError(f"source {s} not in this result")
         return self.matrix[idx]
 
 
-def msrwr(graph, sources, solver, *, keep_results=False):
+def _is_powerpush(solver):
+    from repro.core.powerpush import powerpush
+
+    return solver is powerpush or getattr(solver, "func", None) is powerpush
+
+
+def msrwr(graph, sources, solver=None, *, keep_results=False):
     """Answer an MSRWR query by running ``solver`` once per source.
 
     ``solver`` is any callable ``solver(graph, source) -> SSRWRResult``
-    (e.g. ``functools.partial(resacc, accuracy=...)``).
+    (e.g. ``functools.partial(resacc, accuracy=...)``), a solver name
+    (``"auto"`` / ``"resacc"`` / ``"powerpush"``), or ``None`` to
+    resolve via the ``REPRO_SOLVER`` environment variable.  PowerPush
+    requests (by name, function, or a ``functools.partial`` over it)
+    are dispatched to the blocked batch solve.
     """
     sources = [int(s) for s in sources]
     if not sources:
@@ -52,9 +72,29 @@ def msrwr(graph, sources, solver, *, keep_results=False):
     for s in sources:
         if not 0 <= s < graph.n:
             raise ParameterError(f"source {s} out of range for n={graph.n}")
+    if solver is None or isinstance(solver, str):
+        from repro.core.powerpush import get_solver
+
+        solver = get_solver(solver)
     matrix = np.empty((len(sources), graph.n), dtype=np.float64)
     seconds = []
     kept = []
+    if _is_powerpush(solver):
+        from repro.core.powerpush import powerpush_batch
+
+        keywords = getattr(solver, "keywords", None) or {}
+        batch_kwargs = {k: v for k, v in keywords.items()
+                        if k in ("params", "accuracy")}
+        tic = time.perf_counter()
+        results = powerpush_batch(graph, sources, **batch_kwargs)
+        share = (time.perf_counter() - tic) / len(sources)
+        for i, result in enumerate(results):
+            matrix[i] = result.estimates
+            seconds.append(share)
+            if keep_results:
+                kept.append(result)
+        return MSRWRResult(sources=sources, matrix=matrix,
+                           per_source_seconds=seconds, results=kept)
     for i, s in enumerate(sources):
         tic = time.perf_counter()
         result = solver(graph, s)

@@ -70,8 +70,10 @@ try:  # pragma: no cover - exercised only when scipy lacks the private API
     from scipy.sparse import _sparsetools as _scipy_sparsetools
 
     _csr_matvec = _scipy_sparsetools.csr_matvec
+    _csr_matvecs = _scipy_sparsetools.csr_matvecs
 except Exception:  # pragma: no cover
     _csr_matvec = None
+    _csr_matvecs = None
 
 #: Environment variable selecting the frontier backend.
 BACKEND_ENV = "REPRO_PUSH_BACKEND"
@@ -90,6 +92,10 @@ MATVEC_EDGE_DIV = 8
 #: Bound on distinct ``r_max`` thresholds cached per snapshot (OAOP
 #: replays call with a fresh ``r_max * rho`` every round).
 _THRESHOLD_CACHE_SIZE = 8
+
+#: Bound on pooled 2-D scratch blocks per snapshot (blocked sweeps
+#: compact into progressively narrower blocks; keep only a few).
+_BLOCK_POOL_SIZE = 6
 
 _attach_lock = threading.Lock()
 
@@ -162,7 +168,8 @@ class SnapshotPushCache:
     """
 
     __slots__ = ("_graph", "_lock", "_thresholds", "_transpose",
-                 "_share_pool", "_marker_pool")
+                 "_share_pool", "_marker_pool", "_block_pool",
+                 "_power_ops")
 
     def __init__(self, graph):
         self._graph = graph
@@ -171,6 +178,8 @@ class SnapshotPushCache:
         self._transpose = None
         self._share_pool = []
         self._marker_pool = []
+        self._block_pool = []
+        self._power_ops = OrderedDict()
 
     def thresholds(self, r_max):
         """Read-only per-node threshold vector for one ``r_max``.
@@ -210,6 +219,35 @@ class SnapshotPushCache:
                 self._transpose = (indptr, indices, data)
             return self._transpose
 
+    def power_operator(self, alpha):
+        """CSR arrays of the *scaled* transpose ``(1-alpha) * A^T D^-1``.
+
+        One application is a full power sweep (``residue_next = P^T @
+        residue``): folding the ``(1-alpha)/deg`` edge weights into the
+        matrix data removes the per-sweep share-scaling pass the dense
+        frontier branch pays.  Cached per distinct ``alpha`` (dangling
+        columns have no entries, so no masking is needed).
+        """
+        key = float(alpha)
+        with self._lock:
+            ops = self._power_ops.get(key)
+            if ops is not None:
+                self._power_ops.move_to_end(key)
+                return ops
+        at_indptr, at_indices, _ = self.transpose_operator()
+        degrees = self._graph.out_degrees
+        safe = np.where(degrees > 0, degrees, 1).astype(np.float64)
+        inv_deg = (1.0 - key) / safe
+        data = inv_deg[at_indices]
+        data.flags.writeable = False
+        ops = (at_indptr, at_indices, data)
+        with self._lock:
+            self._power_ops[key] = ops
+            self._power_ops.move_to_end(key)
+            while len(self._power_ops) > _THRESHOLD_CACHE_SIZE:
+                self._power_ops.popitem(last=False)
+        return ops
+
     def lease_share(self):
         """Borrow an all-zeros float64 scratch vector of length ``n``.
 
@@ -238,6 +276,29 @@ class SnapshotPushCache:
         with self._lock:
             self._marker_pool.append(buf)
 
+    def lease_block(self, width):
+        """Borrow a C-contiguous ``(n, width)`` float64 scratch block.
+
+        Blocked multi-source sweeps (:func:`power_block_loop`) lease
+        their residual / share blocks here so batched ``query_batch``
+        misses reuse one allocation per snapshot instead of allocating
+        per batch.  Contents are *not* zeroed -- every caller overwrites
+        the full block before reading it.
+        """
+        width = int(width)
+        with self._lock:
+            for i, buf in enumerate(self._block_pool):
+                if buf.shape[1] == width:
+                    del self._block_pool[i]
+                    return buf
+        return np.empty((self._graph.n, width), dtype=np.float64)
+
+    def release_block(self, buf):
+        """Return a 2-D scratch block to the pool."""
+        with self._lock:
+            if len(self._block_pool) < _BLOCK_POOL_SIZE:
+                self._block_pool.append(buf)
+
     def release(self):
         """Drop every cached array (write-gate retirement)."""
         with self._lock:
@@ -245,6 +306,8 @@ class SnapshotPushCache:
             self._transpose = None
             self._share_pool.clear()
             self._marker_pool.clear()
+            self._block_pool.clear()
+            self._power_ops.clear()
 
 
 def get_push_cache(graph):
@@ -651,6 +714,192 @@ def dense_reference_loop(graph, reserve, residue, alpha, r_max, *,
             weights = np.repeat((1.0 - alpha) * spread_mass / counts, counts)
             residue += np.bincount(targets, weights=weights,
                                    minlength=graph.n)
+
+
+def _column_sum(block, j):
+    """Bit-stable sum of column ``j`` of a C-order block.
+
+    The copy makes the reduction run over a contiguous ``(n,)`` array,
+    so numpy's pairwise summation produces the same bits regardless of
+    the block width the column happens to live in -- the property that
+    makes blocked sweeps byte-identical to a ``B=1`` solo run.
+    """
+    return float(np.ascontiguousarray(block[:, j]).sum())
+
+
+def power_block_loop(graph, reserves, residues, alpha, tol, sources, *,
+                     cache=None, max_sweeps=100_000):
+    """Global power sweeps over a blocked ``(n, B)`` residual.
+
+    Runs full-frontier Jacobi sweeps (``residue_next = P^T @ residue``
+    with ``P^T = (1-alpha) A^T D^-1`` from :meth:`SnapshotPushCache.
+    power_operator`) on all ``B`` sources simultaneously until every
+    column's residue mass drops to ``tol``: one traversal of the cached
+    transpose serves the whole block, so the per-edge index loads the
+    solo path pays ``B`` times are amortized into a single
+    memory-bandwidth-bound pass.
+
+    ``reserves`` / ``residues`` are sequences of ``B`` per-source 1-D
+    float64 vectors; each is updated **in place** with that source's
+    fixpoint state.  ``sources`` gives the restart target per column
+    (used only under the ``"restart"`` dangling policy).
+
+    Two per-sweep costs are deferred without changing any column's
+    final bits:
+
+    * the reserve update ``reserve += alpha * residue_k`` is summed
+      lazily -- a running block ``acc = sum_k residue_k`` is kept and
+      ``alpha * acc`` is applied once when the column freezes (the
+      dangling-absorb share ``(1-alpha) * acc`` likewise);
+    * the convergence check is skipped until the sweep where the exact
+      geometric decay ``r_sum_k <= r_0 (1-alpha)^k`` first allows
+      ``r_sum <= tol`` (minus a safety margin), so most sweeps never
+      pay a column reduction.  The prediction uses only per-column
+      scalars, so solo and blocked runs skip identically.
+
+    Per-column guarantees:
+
+    * the sweep arithmetic (elementwise block updates, per-row CSR
+      accumulation via ``csr_matvecs``, contiguous-copy column sums) is
+      bitwise independent of the block width, so column ``c`` of a
+      ``B``-wide block matches a ``B=1`` run of the same state exactly;
+    * a column whose residue mass reaches ``tol`` is frozen at that
+      sweep (its vectors written back immediately) and the block is
+      compacted once at most half the columns remain, so early
+      finishers stop paying for stragglers.
+
+    Scratch blocks are leased from the snapshot's
+    :class:`SnapshotPushCache` and returned on exit; a mutation retires
+    them via :func:`release_push_cache` like every other pooled buffer.
+
+    Returns ``(r_sums, sweeps)``: the final residue mass and the number
+    of sweeps applied, per source.
+    """
+    import math
+
+    if cache is None:
+        cache = get_push_cache(graph)
+    n = graph.n
+    num = len(residues)
+    degrees = graph.out_degrees
+    alpha = float(alpha)
+    spread_scale = 1.0 - alpha
+    dang_idx = np.flatnonzero(degrees == 0)
+    restart = graph.dangling == "restart"
+    at_indptr, at_indices, at_data = cache.power_operator(alpha)
+    tol = float(tol)
+
+    r_sums = np.empty(num, dtype=np.float64)
+    sweeps = np.zeros(num, dtype=np.int64)
+    check_from = {}
+    # Decay is exactly (1-alpha) per sweep under "restart" (all mass
+    # recirculates) and at most that under "absorb"; with absorbing
+    # dangling nodes it can be faster, so prediction would only delay
+    # the check past the true crossing -- check every sweep instead.
+    predict = restart or dang_idx.size == 0
+    log_decay = math.log(spread_scale) if spread_scale > 0.0 else None
+    active = []
+    for c in range(num):
+        r0 = float(np.ascontiguousarray(residues[c]).sum())
+        if r0 <= tol:
+            r_sums[c] = r0
+        else:
+            active.append(c)
+            if predict and log_decay is not None and log_decay < 0.0:
+                earliest = math.ceil(math.log(tol / r0) / log_decay)
+                check_from[c] = max(1, int(earliest) - 2)
+            else:
+                check_from[c] = 1
+    if not active:
+        return r_sums, sweeps
+
+    # cols[j] is the original source slot living at block column j, or
+    # None once that column converged (frozen in place until the next
+    # compaction); col_src[j] is its restart target.
+    cols = list(active)
+    col_src = [int(sources[c]) for c in active]
+    width = len(cols)
+    n_alive = width
+    rr = cache.lease_block(width)    # current residue block
+    nn = cache.lease_block(width)    # next-residue scratch
+    acc = cache.lease_block(width)   # running sum of pushed residues
+    leased = [rr, nn, acc]
+    acc.fill(0.0)
+    for j, c in enumerate(cols):
+        rr[:, j] = residues[c]
+
+    def freeze(c, j, rs):
+        r_sums[c] = rs
+        res = reserves[c]
+        res += alpha * acc[:, j]
+        if dang_idx.size and not restart:
+            res[dang_idx] += spread_scale * acc[dang_idx, j]
+        residues[c][:] = rr[:, j]
+
+    total = 0
+    try:
+        while n_alive:
+            if total >= max_sweeps:
+                raise ConvergenceError(
+                    f"power sweeps exceeded budget of {max_sweeps}"
+                )
+            total += 1
+            # Full-frontier round: every node pushes its whole residue.
+            acc += rr
+            nn.fill(0.0)
+            if restart and dang_idx.size:
+                for j in range(width):
+                    if cols[j] is None:
+                        continue
+                    dsum = float(rr[dang_idx, j].sum())
+                    if dsum != 0.0:
+                        nn[col_src[j], j] += spread_scale * dsum
+            if _csr_matvecs is not None:
+                _csr_matvecs(n, n, width, at_indptr, at_indices, at_data,
+                             rr.reshape(-1), nn.reshape(-1))
+            else:  # pragma: no cover - scipy without the private API
+                from scipy.sparse import csr_matrix
+
+                mat = csr_matrix((at_data, at_indices, at_indptr),
+                                 shape=(n, n))
+                nn += mat @ rr
+            rr, nn = nn, rr
+            for j in range(width):
+                c = cols[j]
+                if c is None:
+                    continue
+                sweeps[c] += 1
+                if sweeps[c] < check_from[c]:
+                    continue
+                rs = _column_sum(rr, j)
+                if rs <= tol:
+                    freeze(c, j, rs)
+                    cols[j] = None
+                    n_alive -= 1
+            if n_alive and n_alive <= width // 2:
+                new_rr = cache.lease_block(n_alive)
+                new_nn = cache.lease_block(n_alive)
+                new_acc = cache.lease_block(n_alive)
+                new_cols, new_src = [], []
+                k = 0
+                for j in range(width):
+                    if cols[j] is None:
+                        continue
+                    new_rr[:, k] = rr[:, j]
+                    new_acc[:, k] = acc[:, j]
+                    new_cols.append(cols[j])
+                    new_src.append(col_src[j])
+                    k += 1
+                for buf in leased:
+                    cache.release_block(buf)
+                rr, nn, acc = new_rr, new_nn, new_acc
+                leased = [rr, nn, acc]
+                cols, col_src = new_cols, new_src
+                width = n_alive
+    finally:
+        for buf in leased:
+            cache.release_block(buf)
+    return r_sums, sweeps
 
 
 #: Dispatch table used by :func:`repro.push.forward.forward_push_loop`.

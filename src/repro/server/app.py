@@ -674,6 +674,13 @@ def build_parser():
                              "in-process engine, 'multiproc' dispatches "
                              "to solver worker processes over a "
                              "shared-memory graph (docs/multiprocess.md)")
+    parser.add_argument("--solver", choices=("auto", "resacc", "powerpush"),
+                        default=None,
+                        help="SSRWR solver backend; default resolves via "
+                             "the REPRO_SOLVER env var ('auto' = ResAcc). "
+                             "'powerpush' answers cold /query_batch "
+                             "misses as one blocked multi-source sweep "
+                             "(docs/powerpush.md)")
     parser.add_argument("--workers", type=int, default=4,
                         help="engine thread-pool width (dispatch threads "
                              "for --engine multiproc)")
@@ -720,7 +727,8 @@ def main(argv=None):
         return 2
     if args.engine == "multiproc":
         engine = MultiProcessQueryEngine(
-            graph, solver_workers=args.solver_workers,
+            graph, solver=args.solver,
+            solver_workers=args.solver_workers,
             dispatch_workers=args.workers, cache_size=args.cache_size,
             seed=args.seed, trace=args.trace,
             trace_capacity=512 if args.trace else None,
@@ -731,7 +739,7 @@ def main(argv=None):
         engine.warm_up()
     else:
         engine = ConcurrentQueryEngine(
-            graph, max_workers=args.workers,
+            graph, solver=args.solver, max_workers=args.workers,
             walk_workers=args.walk_workers, cache_size=args.cache_size,
             seed=args.seed, trace=args.trace,
             trace_capacity=512 if args.trace else None,

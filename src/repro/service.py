@@ -84,8 +84,11 @@ class QueryEngine:
         Initial graph (copied into an internal builder; later mutations
         do not affect the caller's object).
     solver:
-        ``(graph, source) -> SSRWRResult``; defaults to ResAcc at the
-        paper's accuracy for the current graph size.
+        Either a solver name (``"auto"`` / ``"resacc"`` /
+        ``"powerpush"``, resolved like ``REPRO_PUSH_BACKEND`` via the
+        ``REPRO_SOLVER`` environment variable when omitted; ``auto``
+        means ResAcc at the paper's accuracy) or a custom callable
+        ``(graph, source) -> SSRWRResult``.
     cache_size:
         Maximum number of per-source results kept (LRU eviction).
     trace:
@@ -117,7 +120,14 @@ class QueryEngine:
         self._graph = self._builder.build()
         self._accuracy = accuracy
         self._seed = seed
-        self._custom_solver = solver
+        if solver is None or isinstance(solver, str):
+            from repro.core.powerpush import resolve_solver
+
+            self._custom_solver = None
+            self._solver_name = resolve_solver(solver)
+        else:
+            self._custom_solver = solver
+            self._solver_name = None
         self._cache_size = int(cache_size)
         self._cache = OrderedDict()
         self._trace_enabled = bool(trace)
@@ -158,6 +168,10 @@ class QueryEngine:
         accuracy = (accuracy or self._accuracy
                     or AccuracyParams.paper_defaults(graph.n))
         trace = QueryTrace() if self._trace_enabled else None
+        if self._solver_name == "powerpush":
+            from repro.core.powerpush import powerpush
+
+            return powerpush(graph, source, accuracy=accuracy, trace=trace)
         return resacc(graph, source, accuracy=accuracy,
                       seed=self._seed + source, trace=trace,
                       walk_workers=self._walk_workers,
@@ -236,9 +250,12 @@ class QueryEngine:
             raise ParameterError(
                 f"source {source} out of range for n={self.graph.n}"
             )
-        if self._custom_solver is not None or mode == "full":
-            # No fast path possible/requested: answer from the (shared,
-            # cached) full query so repeated mixed workloads reuse it.
+        if (self._custom_solver is not None
+                or self._solver_name == "powerpush" or mode == "full"):
+            # No fast path possible/requested (the top-k bound solver is
+            # built on ResAcc's push+walk envelope): answer from the
+            # (shared, cached) full query so repeated mixed workloads
+            # reuse it.
             self.stats.topk_queries += 1
             answer = answer_from_result(self.query(
                 source, accuracy=accuracy), k)

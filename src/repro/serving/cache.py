@@ -167,6 +167,94 @@ class SingleFlightCache:
             flight.event.set()
         return flight.value, "miss"
 
+    def begin_flights(self, keys):
+        """Claim flights for a batch of keys in one lock acquisition.
+
+        The blocked multi-source solve uses this to split a cold batch
+        into exactly three disjoint groups under one consistent snapshot
+        of the cache: ``(hits, owned, waiting)`` where ``hits`` maps key
+        to cached value, ``owned`` maps key to a fresh flight this
+        caller **must** resolve via :meth:`settle_flight` (value or
+        error -- leaking one deadlocks its waiters), and ``waiting``
+        maps key to ``(flight, stale)`` for flights owned elsewhere, to
+        be awaited with :meth:`wait_for`.
+
+        Keys already in flight land in ``waiting`` -- never in
+        ``owned`` -- so a blocked solve can never shadow or duplicate a
+        solo solve that is already computing the same key; conversely
+        the flights it does own are the very flights a later solo
+        :meth:`get_or_compute` on that key will coalesce onto.  Flight
+        generations follow the same rules as the solo path.
+        """
+        hits, owned, waiting = {}, {}, {}
+        with self._lock:
+            for key in keys:
+                if key in hits or key in owned or key in waiting:
+                    continue
+                if key in self._data:
+                    self._data.move_to_end(key)
+                    hits[key] = self._data[key]
+                    continue
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = _Flight(self._generation)
+                    self._flights[key] = flight
+                    owned[key] = flight
+                else:
+                    waiting[key] = (
+                        flight, flight.generation != self._generation,
+                    )
+        return hits, owned, waiting
+
+    def settle_flight(self, key, flight, *, value=None, error=None,
+                      meta=None):
+        """Resolve a flight claimed via :meth:`begin_flights`.
+
+        Mirrors the owner path of :meth:`get_or_compute`: the value is
+        published only if the flight's generation is still current and
+        the cache stores anything at all; waiters receive the value (or
+        re-raise ``error``) either way.
+        """
+        if error is not None:
+            flight.error = error
+        else:
+            flight.value = value
+        meta_value = None
+        if flight.error is None and meta is not None:
+            try:
+                meta_value = meta(flight.value)
+            except Exception:
+                meta_value = None  # entry stays cached, just unretainable
+        with self._lock:
+            self._flights.pop(key, None)
+            publishable = (flight.error is None
+                           and self._max_size > 0
+                           and flight.generation == self._generation)
+            if publishable:
+                self._data[key] = flight.value
+                if meta_value is not None:
+                    self._meta[key] = meta_value
+                while len(self._data) > self._max_size:
+                    evicted, _ = self._data.popitem(last=False)
+                    self._meta.pop(evicted, None)
+        flight.event.set()
+
+    def wait_for(self, key, flight, stale):
+        """Await a flight owned elsewhere (from :meth:`begin_flights`).
+
+        Returns ``(value, "coalesced")``, re-raises the owner's error,
+        or returns ``(None, "retry")`` when the flight predated an
+        invalidation -- its value belongs to the old graph, so the
+        caller must retry the key (exactly as the solo path does).
+        """
+        del key  # part of the signature for symmetry/debugging
+        flight.event.wait()
+        if stale:
+            return None, "retry"
+        if flight.error is not None:
+            raise flight.error
+        return flight.value, "coalesced"
+
     def invalidate(self):
         """Drop every entry and fence out in-flight stores.
 

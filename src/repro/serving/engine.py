@@ -82,10 +82,15 @@ class ConcurrentQueryEngine:
         Initial graph (copied into an internal builder; later mutations
         do not affect the caller's object).
     solver:
-        ``(graph, source, accuracy, seed) -> SSRWRResult``; defaults to
-        ResAcc.  The engine passes ``seed = base_seed + source`` so the
-        answer for a source is deterministic no matter which worker
-        computes it.
+        A solver name (``"auto"`` / ``"resacc"`` / ``"powerpush"``), a
+        custom callable ``(graph, source, accuracy, seed) ->
+        SSRWRResult``, or ``None`` to resolve via the ``REPRO_SOLVER``
+        environment variable (default: ResAcc).  For named solvers the
+        engine passes ``seed = base_seed + source`` so the answer for a
+        source is deterministic no matter which worker computes it;
+        with ``"powerpush"`` cold :meth:`query_batch` misses are
+        additionally solved as one blocked multi-source sweep (see
+        :meth:`_query_batch_blocked`), byte-identical to solo solves.
     accuracy:
         Default :class:`repro.core.AccuracyParams`; ``None`` means the
         paper defaults for the current graph size.  Individual queries
@@ -161,7 +166,14 @@ class ConcurrentQueryEngine:
         self._graph = self._builder.build()
         self._accuracy = accuracy
         self._seed = int(seed)
-        self._solver = solver
+        if solver is None or isinstance(solver, str):
+            from repro.core.powerpush import resolve_solver
+
+            self._solver = None
+            self._solver_name = resolve_solver(solver)
+        else:
+            self._solver = solver
+            self._solver_name = None
         self._cache = SingleFlightCache(max_size=cache_size)
         self._gate = EpochGate()
         self._max_workers = int(max_workers)
@@ -361,6 +373,7 @@ class ConcurrentQueryEngine:
         for s in sources:
             if not 0 <= s < n and s not in invalid:
                 invalid[s] = f"source {s} out of range for n={n}"
+        blocked = self._solver is None and self._solver_name == "powerpush"
         if on_error == "raise":
             if invalid:
                 raise ParameterError(
@@ -368,12 +381,20 @@ class ConcurrentQueryEngine:
                     f"source(s) up front: "
                     + "; ".join(invalid[s] for s in sorted(invalid))
                 )
+            if blocked:
+                return self._query_batch_blocked(
+                    sources, {}, accuracy, deadline, "raise",
+                )
             futures = [
                 self._executor.submit(self.query, s, accuracy=accuracy,
                                       deadline=deadline)
                 for s in sources
             ]
             return [future.result() for future in futures]
+        if blocked:
+            return self._query_batch_blocked(
+                sources, invalid, accuracy, deadline, "collect",
+            )
         results = [None] * len(sources)
         errors = dict(invalid)
         futures = {
@@ -387,6 +408,158 @@ class ConcurrentQueryEngine:
             except Exception as exc:
                 errors[sources[index]] = str(exc) or type(exc).__name__
         return BatchOutcome(results=results, errors=errors)
+
+    def _query_batch_blocked(self, sources, invalid, accuracy, deadline,
+                             on_error):
+        """PowerPush batch serving: one blocked sweep for the cold misses.
+
+        The per-source loop pays one global sweep cascade per cold
+        source; PowerPush lets B cold sources share each sweep as an
+        ``(n, B)`` blocked transpose-SpMV, so the whole cold set costs
+        roughly one solve's worth of memory traffic.  The cache contract
+        is unchanged: unique sources are triaged in one lock acquisition
+        (:meth:`SingleFlightCache.begin_flights`) into cache hits, keys
+        already being solved elsewhere (awaited exactly like a solo
+        coalesce -- a blocked solve never shadows or duplicates an
+        in-flight solo solve), and cold keys this call owns, which are
+        solved as one block and published under the same ``(source,
+        accuracy)`` keys a solo solve would use.  Answers are
+        byte-identical to looped :meth:`query` calls because the solo
+        path routes through the same blocked kernel at ``B=1``.
+        """
+        by_source = {}
+        outcomes = {}
+        errored = {}
+        errors = dict(invalid)
+        pending = [s for s in dict.fromkeys(sources) if s not in invalid]
+        while pending:
+            if deadline is not None and time.monotonic() >= deadline:
+                exc = DeadlineExceededError(
+                    "deadline expired before blocked batch round started"
+                )
+                for s in pending:
+                    errored[s] = exc
+                    errors[s] = str(exc)
+                break
+            retry = []
+            with self._gate.read() as epoch:
+                graph = self._graph
+                effective = accuracy or self._accuracy
+                hits, owned, waiting = self._cache.begin_flights(
+                    [(s, effective) for s in pending]
+                )
+                for key, value in hits.items():
+                    by_source[key[0]] = value
+                    outcomes[key[0]] = "hit"
+                if owned:
+                    owned_sources = [key[0] for key in owned]
+                    try:
+                        block = self._compute_block(
+                            graph, owned_sources, effective, epoch,
+                            deadline,
+                        )
+                    except BaseException as exc:
+                        for key, flight in owned.items():
+                            self._cache.settle_flight(key, flight,
+                                                      error=exc)
+                        for s in owned_sources:
+                            errored[s] = exc
+                            errors[s] = str(exc) or type(exc).__name__
+                    else:
+                        meta = self._retention_meta_factory(graph,
+                                                            effective)
+                        for key, result in zip(owned, block):
+                            self._cache.settle_flight(key, owned[key],
+                                                      value=result,
+                                                      meta=meta)
+                            by_source[key[0]] = result
+                            outcomes[key[0]] = "miss"
+                # Await flights owned elsewhere while holding the read
+                # gate, exactly as the solo path does inside
+                # get_or_compute.
+                for key, (flight, stale) in waiting.items():
+                    s = key[0]
+                    try:
+                        value, verdict = self._cache.wait_for(key, flight,
+                                                              stale)
+                    except DeadlineExceededError as exc:
+                        if deadline is None or time.monotonic() < deadline:
+                            # The foreign owner had a shorter deadline;
+                            # retry with our own intact budget.
+                            retry.append(s)
+                            continue
+                        errored[s] = exc
+                        errors[s] = str(exc)
+                        continue
+                    except Exception as exc:
+                        errored[s] = exc
+                        errors[s] = str(exc) or type(exc).__name__
+                        continue
+                    if verdict == "retry":
+                        retry.append(s)
+                    else:
+                        by_source[s] = value
+                        outcomes[s] = "coalesced"
+            if errored and on_error == "raise":
+                break
+            pending = retry
+        # One stats pass over the input positions: first occurrence of a
+        # source gets its real outcome, duplicate positions count as
+        # coalesced (they share the first occurrence's result object),
+        # matching what a looped solo batch would typically record.
+        seen = set()
+        with self._stats_lock:
+            for s in sources:
+                if s in invalid:
+                    continue  # never submitted, like the solo collect path
+                self.stats.queries += 1
+                if s in errored:
+                    if isinstance(errored[s], DeadlineExceededError):
+                        self.stats.deadline_exceeded += 1
+                    continue
+                if s in seen:
+                    self.stats.coalesced += 1
+                    continue
+                seen.add(s)
+                outcome = outcomes.get(s, "miss")
+                if outcome == "hit":
+                    self.stats.cache_hits += 1
+                elif outcome == "coalesced":
+                    self.stats.coalesced += 1
+                else:
+                    self.stats.cache_misses += 1
+        if on_error == "raise":
+            if errored:
+                for s in sources:
+                    if s in errored:
+                        raise errored[s]
+            return [by_source[s] for s in sources]
+        return BatchOutcome(
+            results=[by_source.get(s) for s in sources],
+            errors=errors,
+        )
+
+    def _compute_block(self, graph, sources, accuracy, epoch,
+                       deadline=None):
+        """One blocked PowerPush solve for a batch's cold sources.
+
+        The multi-process engine overrides this to dispatch the block to
+        a pool worker against the shared-memory graph.
+        """
+        from repro.core.powerpush import powerpush_batch
+
+        inner = QueryTrace(epoch=epoch) if self._trace_enabled else None
+        trace = inner
+        if deadline is not None:
+            trace = DeadlineTrace(deadline, inner)
+        solve_accuracy = (self._solve_accuracy_for(graph, accuracy)
+                          or AccuracyParams.paper_defaults(graph.n))
+        tic = time.perf_counter()
+        results = powerpush_batch(
+            graph, sources, accuracy=solve_accuracy, trace=trace,
+        )
+        self._record_solver_run(inner, time.perf_counter() - tic)
+        return results
 
     def top_k(self, source, k, *, accuracy=None, deadline=None,
               mode="auto"):
@@ -417,7 +590,11 @@ class ConcurrentQueryEngine:
             raise ParameterError(
                 f"mode must be 'auto', 'fast' or 'full', got {mode!r}"
             )
-        if self._solver is not None or mode == "full":
+        if (self._solver is not None or self._solver_name == "powerpush"
+                or mode == "full"):
+            # The early-terminating top-k solver is built on ResAcc's
+            # push+walk envelope; custom and PowerPush engines answer
+            # top-k from the full vector instead.
             from repro.core.topk_solver import answer_from_result
 
             result = self.query(source, accuracy=accuracy,
@@ -484,12 +661,14 @@ class ConcurrentQueryEngine:
     def _retention_meta_factory(self, graph, accuracy):
         """Cache-meta callback for a full-query entry, or None.
 
-        Only incremental engines with the default solver track retention
-        metadata; a custom solver gives no handle on the accuracy its
-        results actually achieve, so its entries fall back to
-        evict-on-mutation.
+        Only incremental engines with the default ResAcc solver track
+        retention metadata; a custom solver gives no handle on the
+        accuracy its results actually achieve, and the retention bound
+        was derived against ResAcc's contract, so custom and PowerPush
+        entries fall back to evict-on-mutation.
         """
-        if not self._incremental or self._solver is not None:
+        if (not self._incremental or self._solver is not None
+                or self._solver_name != "resacc"):
             return None
         from repro.serving.retention import RetentionMeta
 
@@ -519,6 +698,18 @@ class ConcurrentQueryEngine:
         if self._solver is not None:
             result = self._solver(graph, source, accuracy,
                                   self._seed + source)
+        elif self._solver_name == "powerpush":
+            from repro.core.powerpush import powerpush
+
+            solve_accuracy = (self._solve_accuracy_for(graph, accuracy)
+                              or AccuracyParams.paper_defaults(graph.n))
+            # Deterministic (zero walks), so seed/walk_workers are moot;
+            # solo solves route through the same B=1 blocked kernel the
+            # batch path uses, which is what makes blocked and solo
+            # answers byte-identical.
+            result = powerpush(
+                graph, source, accuracy=solve_accuracy, trace=trace,
+            )
         else:
             solve_accuracy = (self._solve_accuracy_for(graph, accuracy)
                               or AccuracyParams.paper_defaults(graph.n))

@@ -75,7 +75,7 @@ PROCESS_META_KEY = "process"
 
 
 def _solve_task(handle, source, accuracy, seed, trace_enabled, deadline,
-                epoch):
+                epoch, solver_name="resacc"):
     """One solver invocation; runs inside a pool worker process.
 
     Returns the :class:`repro.core.result.SSRWRResult` (pickled back to
@@ -83,9 +83,9 @@ def _solve_task(handle, source, accuracy, seed, trace_enabled, deadline,
     worker process name and pid.  The computation is the exact call the
     sequential engine makes: same solver, same per-source seed, serial
     walks, so the estimate vector is a pure function of
-    ``(graph, source, accuracy, seed)``.
+    ``(graph, source, accuracy, seed)`` (PowerPush is deterministic and
+    ignores the seed entirely).
     """
-    from repro.core.resacc import resacc
     from repro.obs.trace import DeadlineTrace, QueryTrace
     from repro.walks.parallel import attach_csr_graph
 
@@ -102,14 +102,50 @@ def _solve_task(handle, source, accuracy, seed, trace_enabled, deadline,
         # boundaries and raises DeadlineExceededError, which pickles
         # back across the pool and frees the dispatcher thread.
         trace = DeadlineTrace(deadline, inner)
-    result = resacc(
-        graph, source,
-        accuracy=accuracy or AccuracyParams.paper_defaults(graph.n),
-        seed=seed, trace=trace,
-    )
+    accuracy = accuracy or AccuracyParams.paper_defaults(graph.n)
+    if solver_name == "powerpush":
+        from repro.core.powerpush import powerpush
+
+        result = powerpush(graph, source, accuracy=accuracy, trace=trace)
+    else:
+        from repro.core.resacc import resacc
+
+        result = resacc(graph, source, accuracy=accuracy, seed=seed,
+                        trace=trace)
     # The result must never carry the one-shot deadline proxy home.
     result.trace = inner
     return result
+
+
+def _solve_block_task(handle, sources, accuracy, trace_enabled, deadline,
+                      epoch):
+    """One blocked PowerPush solve; runs inside a pool worker process.
+
+    The cold sources of one ``query_batch`` share each global sweep as
+    an ``(n, B)`` blocked transpose-SpMV over the shared-memory graph.
+    Returns ``(results, trace)``: the per-source
+    :class:`repro.core.result.SSRWRResult` list in input order plus the
+    batch-level trace (or None), both pickled back to the dispatcher.
+    """
+    from repro.core.powerpush import powerpush_batch
+    from repro.obs.trace import DeadlineTrace, QueryTrace
+    from repro.walks.parallel import attach_csr_graph
+
+    graph = attach_csr_graph(handle)
+    inner = None
+    if trace_enabled:
+        inner = QueryTrace(epoch=epoch)
+        inner.note(**{PROCESS_META_KEY: current_process().name,
+                      "pid": os.getpid(), "block_width": len(sources)})
+    trace = inner
+    if deadline is not None:
+        trace = DeadlineTrace(deadline, inner)
+    results = powerpush_batch(
+        graph, sources,
+        accuracy=accuracy or AccuracyParams.paper_defaults(graph.n),
+        trace=trace,
+    )
+    return results, inner
 
 
 def _topk_task(handle, source, k, accuracy, seed, mode, trace_enabled,
@@ -168,6 +204,13 @@ class MultiProcessQueryEngine(ConcurrentQueryEngine):
     graph:
         Initial graph (copied into an internal builder, like the base
         engine).
+    solver:
+        Solver name (``"auto"`` / ``"resacc"`` / ``"powerpush"``) or
+        ``None`` to resolve via ``REPRO_SOLVER``.  Custom callables are
+        rejected -- they cannot cross the process boundary.  With
+        ``"powerpush"`` the cold misses of a ``query_batch`` are solved
+        as one blocked sweep in a single pool worker
+        (:func:`_solve_block_task`).
     solver_workers:
         Width of the solver process pool.
     dispatch_workers:
@@ -193,10 +236,17 @@ class MultiProcessQueryEngine(ConcurrentQueryEngine):
         inside every solver worker would oversubscribe cores.
     """
 
-    def __init__(self, graph, *, solver_workers=4, dispatch_workers=None,
-                 accuracy=None, cache_size=256, seed=0, trace=False,
-                 trace_capacity=None, crash_retries=1, mp_context="spawn",
-                 incremental=False, solve_margin=None):
+    def __init__(self, graph, *, solver=None, solver_workers=4,
+                 dispatch_workers=None, accuracy=None, cache_size=256,
+                 seed=0, trace=False, trace_capacity=None,
+                 crash_retries=1, mp_context="spawn", incremental=False,
+                 solve_margin=None):
+        if solver is not None and not isinstance(solver, str):
+            raise ParameterError(
+                "MultiProcessQueryEngine accepts solver names only "
+                "(a custom callable cannot cross the process boundary); "
+                f"got {solver!r}"
+            )
         if solver_workers < 1:
             raise ParameterError(
                 f"solver_workers must be >= 1, got {solver_workers}"
@@ -208,7 +258,8 @@ class MultiProcessQueryEngine(ConcurrentQueryEngine):
         if dispatch_workers is None:
             dispatch_workers = 2 * int(solver_workers)
         super().__init__(
-            graph, accuracy=accuracy, cache_size=cache_size, seed=seed,
+            graph, solver=solver, accuracy=accuracy,
+            cache_size=cache_size, seed=seed,
             max_workers=dispatch_workers, trace=trace, walk_workers=1,
             trace_capacity=trace_capacity, incremental=incremental,
             solve_margin=solve_margin,
@@ -356,9 +407,25 @@ class MultiProcessQueryEngine(ConcurrentQueryEngine):
         result = self._run_in_pool(
             graph, source, deadline, _solve_task, source, solve_accuracy,
             self._seed + source, self._trace_enabled, deadline, epoch,
+            self._solver_name,
         )
         self._record_solver_run(result.trace, time.perf_counter() - tic)
         return result
+
+    def _compute_block(self, graph, sources, accuracy, epoch,
+                       deadline=None):
+        # The blocked cold-miss solve of a PowerPush query_batch runs in
+        # a single pool worker against the shared-memory graph; only the
+        # source list and the result vectors cross the process boundary.
+        tic = time.perf_counter()
+        solve_accuracy = self._solve_accuracy_for(graph, accuracy)
+        results, trace = self._run_in_pool(
+            graph, list(sources), deadline, _solve_block_task,
+            list(sources), solve_accuracy, self._trace_enabled, deadline,
+            epoch,
+        )
+        self._record_solver_run(trace, time.perf_counter() - tic)
+        return results
 
     def _compute_topk(self, graph, source, k, accuracy, mode, epoch,
                       deadline=None):

@@ -356,6 +356,128 @@ def test_single_flight_cache_does_not_publish_across_invalidation():
     assert (value, outcome) == ("fresh", "miss")
 
 
+def test_begin_flights_never_shadows_inflight_solo_solve():
+    """Cache-key audit for the blocked batch path: a key already being
+    solved solo lands in ``waiting`` -- never ``owned`` -- so the block
+    coalesces onto the solo flight instead of duplicating or shadowing
+    it, and keys the block does own publish under the very entries solo
+    lookups hit afterwards."""
+    cache = SingleFlightCache(max_size=8)
+    computing = threading.Event()
+    release = threading.Event()
+
+    def slow_compute():
+        computing.set()
+        assert release.wait(JOIN_TIMEOUT)
+        return "solo-value"
+
+    solo = {}
+
+    def solo_owner():
+        solo["value"], solo["outcome"] = cache.get_or_compute(
+            "busy", slow_compute
+        )
+
+    t = threading.Thread(target=solo_owner, daemon=True)
+    t.start()
+    assert computing.wait(JOIN_TIMEOUT)
+
+    hits, owned, waiting = cache.begin_flights(
+        ["busy", "cold", "cold", "busy"]  # duplicates triage once
+    )
+    assert hits == {}
+    assert list(owned) == ["cold"]       # never the in-flight solo key
+    assert list(waiting) == ["busy"]
+    cache.settle_flight("cold", owned["cold"], value="block-value")
+
+    release.set()
+    t.join(JOIN_TIMEOUT)
+    flight, stale = waiting["busy"]
+    assert stale is False
+    assert cache.wait_for("busy", flight, stale) == ("solo-value",
+                                                     "coalesced")
+    # Published entries: the solo solve owns its key, the block its own.
+    assert cache.get_or_compute("busy", lambda: "x") == ("solo-value",
+                                                         "hit")
+    assert cache.get_or_compute("cold", lambda: "x") == ("block-value",
+                                                         "hit")
+
+
+def test_settle_flight_respects_invalidation_fence():
+    """A block flight that took off before invalidate() serves its
+    waiters but must not seed the new generation -- same fence as the
+    solo owner path."""
+    cache = SingleFlightCache(max_size=8)
+    _, owned, _ = cache.begin_flights(["k"])
+    cache.invalidate()
+    cache.settle_flight("k", owned["k"], value="stale")
+    assert "k" not in cache
+    # A waiter that joined before the invalidation is told to retry.
+    assert cache.wait_for("k", owned["k"], True) == (None, "retry")
+
+
+def test_blocked_batch_entries_serve_solo_queries():
+    """Engine-level cache-key audit: entries published by a blocked
+    PowerPush batch are plain ``(source, accuracy)`` entries, so solo
+    queries (and repeat batches) hit them; no duplicate keys appear."""
+    graph = generators.preferential_attachment(200, 3, seed=3)
+    with ConcurrentQueryEngine(graph, solver="powerpush",
+                               max_workers=3) as engine:
+        batched = engine.query_batch([4, 9, 60])
+        assert engine.stats.solver_calls == 1  # one blocked solve
+        assert sorted(engine._cache.keys()) == [(4, None), (9, None),
+                                                (60, None)]
+        solo = engine.query(9)
+        assert solo is batched[1]              # the cached object itself
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.solver_calls == 1  # no recompute
+
+
+def test_blocked_batch_coalesces_onto_inflight_solo_solve():
+    """A blocked batch arriving while a solo query is mid-solve for one
+    of its sources must wait for that flight, not solve the source a
+    second time."""
+    graph = generators.preferential_attachment(200, 3, seed=3)
+    with ConcurrentQueryEngine(graph, solver="powerpush",
+                               max_workers=4) as engine:
+        started = threading.Event()
+        release = threading.Event()
+        original = engine._compute
+
+        def gated_compute(g, source, accuracy, epoch, deadline=None):
+            if source == 7:
+                started.set()
+                assert release.wait(JOIN_TIMEOUT)
+            return original(g, source, accuracy, epoch, deadline)
+
+        engine._compute = gated_compute
+        solo = {}
+
+        def solo_query():
+            solo["result"] = engine.query(7)
+
+        t = threading.Thread(target=solo_query, daemon=True)
+        t.start()
+        assert started.wait(JOIN_TIMEOUT)
+
+        batch = {}
+
+        def run_batch():
+            batch["results"] = engine.query_batch([7, 11, 23])
+
+        b = threading.Thread(target=run_batch, daemon=True)
+        b.start()
+        release.set()
+        t.join(JOIN_TIMEOUT)
+        b.join(JOIN_TIMEOUT)
+        assert batch["results"][0] is solo["result"]
+        # Source 7 was computed exactly once, by the solo flight; the
+        # batch's blocked solve covered only the two cold sources.
+        assert engine.stats.coalesced >= 1
+        assert sorted(engine._cache.keys()) == [(7, None), (11, None),
+                                                (23, None)]
+
+
 def test_late_arrival_never_joins_pre_invalidation_flight():
     """A caller arriving *after* invalidate() must not coalesce onto a
     flight that took off before it -- that flight's value belongs to the

@@ -201,6 +201,95 @@ def test_topk_tie_break_is_stable_across_runs():
     assert first.nodes[1:].tolist() == [0, 1, 2, 3, 4]
 
 
+# ----------------------------------------------------------------------
+# PowerPush blocked batches: byte-identical to the per-source loop
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("graph_name", ("ba", "power_law", "grid"))
+@pytest.mark.parametrize("accuracy_name", sorted(ACCURACIES))
+def test_powerpush_blocked_batch_equals_solo_loop(graph_name,
+                                                  accuracy_name):
+    """A cold ``query_batch`` on a PowerPush engine is solved as one
+    blocked multi-source sweep; its answers must be byte-identical to a
+    sequential loop of solo PowerPush queries (which run the same kernel
+    at block width 1)."""
+    graph = GRAPHS[graph_name]()
+    accuracy = ACCURACIES[accuracy_name](graph.n)
+    sources = [0, 3, 17, 42, 3, 0, 99, 17]  # duplicates on purpose
+    solo = QueryEngine(graph, solver="powerpush", accuracy=accuracy,
+                       cache_size=0)
+    expected = [solo.query(s) for s in sources]
+    with ConcurrentQueryEngine(graph, solver="powerpush",
+                               accuracy=accuracy,
+                               max_workers=4) as engine:
+        batched = engine.query_batch(sources)
+    assert len(batched) == len(sources)
+    for source, want, got in zip(sources, expected, batched):
+        assert got.source == source
+        assert got.algorithm == "powerpush"
+        assert want.estimates.tobytes() == got.estimates.tobytes(), (
+            f"{graph_name}/{accuracy_name}: blocked estimates for source "
+            f"{source} diverge from the solo loop"
+        )
+
+
+def test_powerpush_blocked_batch_is_one_solver_call():
+    """The whole cold unique-source batch costs exactly one blocked
+    solve (that is the perf point), and each unique source is a cache
+    miss under its own ``(source, accuracy)`` key."""
+    graph = GRAPHS["ba"]()
+    sources = [2, 9, 33, 150]
+    with ConcurrentQueryEngine(graph, solver="powerpush",
+                               max_workers=4) as engine:
+        engine.query_batch(sources)
+        assert engine.stats.solver_calls == 1
+        assert engine.stats.cache_misses == len(sources)
+        # Second round: everything is served from the cache.
+        engine.query_batch(sources)
+        assert engine.stats.solver_calls == 1
+        assert engine.stats.cache_hits == len(sources)
+
+
+def test_powerpush_blocked_batch_collect_mode():
+    """One invalid source in a block degrades that item only; every
+    valid item is still byte-identical to a solo solve (the
+    ``on_error="collect"`` contract is solver-independent)."""
+    graph = GRAPHS["ba"]()
+    bad = graph.n + 5
+    sources = [1, bad, 2, 1]
+    solo = QueryEngine(graph, solver="powerpush", cache_size=0)
+    with ConcurrentQueryEngine(graph, solver="powerpush",
+                               max_workers=2) as engine:
+        outcome = engine.query_batch(sources, on_error="collect")
+    assert list(outcome.errors) == [bad]
+    assert "out of range" in outcome.errors[bad]
+    assert outcome.results[1] is None
+    assert outcome.results[3] is outcome.results[0]  # shared duplicate
+    for index in (0, 2):
+        want = solo.query(sources[index])
+        assert (outcome.results[index].estimates.tobytes()
+                == want.estimates.tobytes())
+
+
+def test_powerpush_blocked_identical_across_all_engines():
+    """Threaded and multi-process engines answer a PowerPush batch with
+    the same bytes as the sequential engine -- the solve placement
+    (inline block, pool-worker block) must not matter."""
+    from repro.serving import MultiProcessQueryEngine
+
+    graph = GRAPHS["ba"]()
+    sources = [0, 7, 42, 7, 150]
+    solo = QueryEngine(graph, solver="powerpush", cache_size=0)
+    expected = [solo.query(s) for s in sources]
+    with ConcurrentQueryEngine(graph, solver="powerpush",
+                               max_workers=3) as threads:
+        for want, have in zip(expected, threads.query_batch(sources)):
+            assert want.estimates.tobytes() == have.estimates.tobytes()
+    with MultiProcessQueryEngine(graph, solver="powerpush",
+                                 solver_workers=2) as procs:
+        for want, have in zip(expected, procs.query_batch(sources)):
+            assert want.estimates.tobytes() == have.estimates.tobytes()
+
+
 def test_topk_cache_hits_preserve_bytes():
     graph = GRAPHS["ba"]()
     accuracy = ACCURACIES["tight-eps"](graph.n)
