@@ -37,6 +37,7 @@ KNOWN_METRICS = {
     # Latency ratios are too jittery for the 15%-drop gate;
     # retention is the deterministic headline.
     "repro-dynamic-bench": ("retention_rate",),
+    "repro-scale-bench": ("memory_advantage",),
 }
 
 

@@ -8,6 +8,7 @@ from repro.bench.harness import (
     HTTP_BENCH_KIND,
     POWERPUSH_BENCH_KIND,
     PUSH_BENCH_KIND,
+    SCALE_BENCH_KIND,
     SERVING_BENCH_KIND,
     TOPK_BENCH_KIND,
     BenchConfig,
@@ -19,12 +20,14 @@ from repro.bench.harness import (
     powerpush_benchmark,
     push_benchmark,
     run_suite,
+    scale_benchmark,
     serving_benchmark,
     suite_traces,
     timed,
     topk_benchmark,
     traced_solver,
     truths_for,
+    write_random_edges,
 )
 from repro.bench.report import Series, Table, render_all
 
@@ -43,6 +46,7 @@ __all__ = [
     "MAIN_EXPERIMENTS",
     "POWERPUSH_BENCH_KIND",
     "PUSH_BENCH_KIND",
+    "SCALE_BENCH_KIND",
     "SERVING_BENCH_KIND",
     "Series",
     "SolverRun",
@@ -55,10 +59,12 @@ __all__ = [
     "push_benchmark",
     "render_all",
     "run_suite",
+    "scale_benchmark",
     "serving_benchmark",
     "suite_traces",
     "timed",
     "topk_benchmark",
     "traced_solver",
     "truths_for",
+    "write_random_edges",
 ]

@@ -246,6 +246,29 @@ def build_parser():
                          help="exit non-zero if incremental p95 read "
                               "latency exceeds this multiple of the "
                               "read-only baseline")
+    scale_cmd = sub.add_parser(
+        "scale",
+        help="benchmark streaming ingestion peak memory against the "
+             "in-RAM edge-list loader (see docs/scale.md)",
+    )
+    scale_cmd.add_argument("--nodes", type=int, default=100_000,
+                           help="node-id range of the generated edge list")
+    scale_cmd.add_argument("--edges", type=int, default=1_000_000,
+                           help="edge lines to generate (duplicates and "
+                                "self-loops included; dedup is part of "
+                                "the measured work)")
+    scale_cmd.add_argument("--seed", type=int, default=0)
+    scale_cmd.add_argument("--workdir", default=None,
+                           help="directory for the temporary edge list "
+                                "and .rcsr file (default: $TMPDIR)")
+    scale_cmd.add_argument("--json", metavar="PATH", default=None,
+                           help="write the benchmark document "
+                                "(e.g. BENCH_scale.json)")
+    scale_cmd.add_argument("--min-memory-advantage", type=float,
+                           default=None,
+                           help="exit non-zero unless the in-RAM "
+                                "loader's peak RSS is at least this "
+                                "multiple of the streaming ingester's")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment",
                      help="experiment id from 'list', or 'all'")
@@ -304,6 +327,8 @@ def main(argv=None):
         return _run_topk_bench(args)
     if args.command == "dynamic":
         return _run_dynamic_bench(args)
+    if args.command == "scale":
+        return _run_scale_bench(args)
     if args.command == "compare":
         from repro.bench.compare import compare_files
 
@@ -772,6 +797,54 @@ def _run_dynamic_bench(args):
         print(f"incremental p95 is {doc['p95_ratio_vs_read_only']:.2f}x "
               f"the read-only baseline, above the allowed "
               f"{args.max_p95_ratio:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_scale_bench(args):
+    import json
+
+    from repro.bench.harness import scale_benchmark
+    from repro.errors import ParameterError
+
+    try:
+        doc = scale_benchmark(nodes=args.nodes, edges=args.edges,
+                              seed=args.seed, workdir=args.workdir)
+    except ParameterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    graph = doc["graph"]
+    print(f"edge list: {doc['workload']['edges_written']} lines "
+          f"({doc['workload']['edge_file_bytes'] >> 20} MiB)  ->  "
+          f"graph n={graph['n']}, m={graph['m']} "
+          f"({graph['rcsr_bytes'] >> 20} MiB .rcsr)")
+    for name, label in (("inram", "read_edge_list (in-RAM)"),
+                        ("stream", "ingest_edge_list (stream)"),
+                        ("mmap", "load_mmap (re-serve)")):
+        run = doc[name]
+        print(f"  {label:<26} peak RSS "
+              f"{run['rss_delta_bytes'] / 2**20:8.1f} MiB   "
+              f"{run['seconds']:6.2f} s")
+    print(f"  memory advantage: {doc['memory_advantage']:.2f}x  "
+          f"(digest match: {doc['digest_match']})")
+    if args.json:
+        from pathlib import Path
+
+        from repro.obs.export import _json_safe
+
+        path = Path(args.json)
+        path.write_text(json.dumps(_json_safe(doc), indent=2) + "\n",
+                        encoding="utf-8")
+        print(f"  written to {path}")
+    if not doc["digest_match"]:
+        print("streaming ingestion did not reproduce the in-RAM "
+              "loader's graph", file=sys.stderr)
+        return 1
+    if (args.min_memory_advantage is not None
+            and doc["memory_advantage"] < args.min_memory_advantage):
+        print(f"memory advantage {doc['memory_advantage']:.2f}x below "
+              f"required {args.min_memory_advantage:.2f}x",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -1,5 +1,10 @@
 """The paper's primary contribution: ResAcc and its building blocks."""
 
+from repro.core.cpi import (
+    DEFAULT_CPI_ROUNDS,
+    cpi,
+    cpi_error_bound,
+)
 from repro.core.hhop import HHopOutcome, h_hop_forward, oaop_reference
 from repro.core.multisource import MSRWRResult, msrwr
 from repro.core.omfwd import omfwd, residue_sum
@@ -39,6 +44,7 @@ from repro.core.variants import (
 
 __all__ = [
     "AccuracyParams",
+    "DEFAULT_CPI_ROUNDS",
     "HHopOutcome",
     "MSRWRResult",
     "RemedyOutcome",
@@ -49,6 +55,8 @@ __all__ = [
     "TopKAnswer",
     "TopKResult",
     "answer_top_k",
+    "cpi",
+    "cpi_error_bound",
     "exact_ppr",
     "fora_r_max",
     "get_solver",

@@ -118,12 +118,7 @@ def spec(name):
 
 
 @lru_cache(maxsize=32)
-def load(name, *, scale=1.0, seed=0):
-    """Build (and memoize) a catalog graph.
-
-    ``scale`` multiplies the node count; densities are preserved.  The
-    benches use ``scale < 1`` for the quickest runs.
-    """
+def _build(name, scale, seed):
     entry = spec(name)
     if scale <= 0:
         raise ParameterError(f"scale must be positive, got {scale}")
@@ -145,6 +140,39 @@ def load(name, *, scale=1.0, seed=0):
             sizes, p_in=0.08, p_out=0.002, seed=seed
         )
     raise ParameterError(f"unknown dataset kind {entry.kind!r}")
+
+
+def load(name, *, scale=1.0, seed=0, mmap=False, mmap_dir=None):
+    """Build (and memoize) a catalog graph.
+
+    ``scale`` multiplies the node count; densities are preserved.  The
+    benches use ``scale < 1`` for the quickest runs.
+
+    ``mmap=True`` returns a file-backed
+    :class:`repro.graph.MmapCSRGraph` instead of resident arrays: the
+    graph is built once, saved as ``.rcsr`` under ``mmap_dir`` (default
+    ``$TMPDIR/repro-mmap``) keyed on (name, scale, seed), and later
+    loads map the cached file directly (see ``docs/scale.md``).
+    """
+    if not mmap:
+        return _build(name, float(scale), int(seed))
+    import tempfile
+    from pathlib import Path
+
+    from repro.graph.io import load_mmap, save_mmap
+
+    spec(name)  # validate the name before touching the filesystem
+    root = Path(mmap_dir) if mmap_dir is not None else (
+        Path(tempfile.gettempdir()) / "repro-mmap"
+    )
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{name}-s{float(scale):g}-seed{int(seed)}.rcsr"
+    if not path.exists():
+        graph = _build(name, float(scale), int(seed))
+        tmp = path.with_suffix(".rcsr.tmp")
+        save_mmap(graph, tmp)
+        tmp.replace(path)  # atomic: concurrent loaders never see partials
+    return load_mmap(path)
 
 
 def default_h(name):

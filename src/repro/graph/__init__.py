@@ -38,11 +38,16 @@ from repro.graph.dynamic import (
 from repro.graph.hop import HopStructure, expand_ranges, hop_structure
 from repro.graph.io import (
     graph_digest,
+    ingest_edge_list,
+    load_mmap,
     load_npz,
+    npz_to_mmap,
     read_edge_list,
+    save_mmap,
     save_npz,
     write_edge_list,
 )
+from repro.graph.mmap import MmapCSRGraph, mmap_path_of
 from repro.graph.validation import GraphStats, check_consistency, graph_stats
 
 __all__ = [
@@ -50,6 +55,7 @@ __all__ = [
     "GraphBuilder",
     "GraphStats",
     "HopStructure",
+    "MmapCSRGraph",
     "add_edges",
     "articulation_points",
     "biconnected_core",
@@ -66,13 +72,18 @@ __all__ = [
     "graph_stats",
     "hop_structure",
     "induced_subgraph",
+    "ingest_edge_list",
     "insert_edge",
     "is_strongly_connected",
     "is_weakly_connected",
     "largest_component",
+    "load_mmap",
     "load_npz",
+    "mmap_path_of",
+    "npz_to_mmap",
     "read_edge_list",
     "rewire_random_edges",
+    "save_mmap",
     "save_npz",
     "strongly_connected_components",
     "strongly_connected_labels",

@@ -34,6 +34,20 @@ from repro.errors import GraphFormatError
 DANGLING_POLICIES = ("absorb", "restart")
 
 
+def is_file_backed(arr):
+    """Whether ``arr`` is (a view of) a file-backed ``np.memmap``.
+
+    ``np.ascontiguousarray`` returns a base-class ``ndarray`` view of a
+    memmap, so an ``isinstance`` check on the array itself is not
+    enough -- the ``.base`` chain has to be walked.
+    """
+    while isinstance(arr, np.ndarray):
+        if isinstance(arr, np.memmap):
+            return True
+        arr = arr.base
+    return False
+
+
 class CSRGraph:
     """A directed, unweighted graph in CSR form.
 
@@ -125,6 +139,24 @@ class CSRGraph:
     def dangling_nodes(self):
         """Array of nodes with zero out-degree."""
         return np.flatnonzero(self.out_degrees == 0)
+
+    @property
+    def resident_bytes(self):
+        """Bytes of graph state held in anonymous (RAM-backed) memory.
+
+        Counts the CSR arrays plus whichever derived caches have been
+        materialized (out-degrees, reverse adjacency).  File-backed
+        ``np.memmap`` arrays are excluded: their pages live in the
+        kernel page cache and are reclaimable, which is the whole point
+        of the mmap tier (:class:`repro.graph.mmap.MmapCSRGraph`).
+        Exported as the ``repro_graph_resident_bytes`` gauge.
+        """
+        total = 0
+        for arr in (self.indptr, self.indices, self._out_degrees,
+                    self._rev_indptr, self._rev_indices):
+            if arr is not None and not is_file_backed(arr):
+                total += int(arr.nbytes)
+        return total
 
     def out_neighbors(self, v):
         """Out-neighbours of node ``v`` as an array view."""

@@ -1,66 +1,196 @@
-"""Graph serialization: edge-list text files and binary ``.npz`` caches.
+"""Graph serialization: edge-list text, binary ``.npz``, mmap ``.rcsr``.
 
 The text format is the SNAP-style whitespace-separated edge list used by the
 paper's benchmark datasets (one ``source target`` pair per line, ``#``
-comments).  The binary format round-trips the CSR arrays directly and is
-what the dataset catalog uses for caching.
+comments).  The ``.npz`` format round-trips the CSR arrays directly and is
+what the dataset catalog uses for caching.  The ``.rcsr`` format
+(:mod:`repro.graph.mmap`) is the page-aligned binary layout behind
+:class:`repro.graph.mmap.MmapCSRGraph` -- the same arrays, but loadable as
+``np.memmap`` views so SNAP-scale graphs never spike RAM.
+
+Text parsing is chunked and vectorized: files are read in
+``chunk_bytes``-sized blocks and each block's integer tokens are parsed in
+one numpy call, so neither :func:`read_edge_list` nor the streaming
+:func:`ingest_edge_list` materializes O(m) Python objects.  A block that
+contains comments, blank lines or ragged rows falls back to a per-line
+parser that preserves the historical semantics (extra columns ignored,
+errors reported with ``path:line``).
 """
 
 from __future__ import annotations
 
 import hashlib
+import mmap as _mmap_mod
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import GraphFormatError
+from repro.errors import GraphFormatError, ParameterError
 from repro.graph.build import from_edges
 from repro.graph.csr import CSRGraph
+from repro.graph.mmap import (
+    MMAP_ALIGN,
+    MmapCSRGraph,
+    mmap_layout,
+    pack_header,
+    unpack_header,
+)
 
 _FORMAT_VERSION = 1
 
+#: Default text-parse block size; bounds peak parse memory per chunk.
+_CHUNK_BYTES = 16 << 20
+#: Smaller default for the streaming ingester: tokenizing a chunk
+#: briefly holds O(tokens) Python bytes objects, and at 16 MiB that
+#: transient alone would dwarf the ingester's bounded-memory budget.
+_INGEST_CHUNK_BYTES = 2 << 20
+#: Token used to mark line boundaries in the vectorized parse.  A chunk
+#: that already contains it (binary junk) takes the per-line path.
+_SENTINEL = b"\x00"
+#: Dirty-page budget of streaming ingestion before a writeback+release.
+_PAGE_RELEASE_BYTES = 8 << 20
 
+
+# ----------------------------------------------------------------------
+# Chunked text parsing
+# ----------------------------------------------------------------------
+def _iter_text_chunks(path, chunk_bytes):
+    """Yield ``(chunk, first_lineno)`` blocks split on line boundaries."""
+    if chunk_bytes < 4096:
+        raise ParameterError(
+            f"chunk_bytes must be >= 4096, got {chunk_bytes}"
+        )
+    lineno = 1
+    carry = b""
+    with path.open("rb") as handle:
+        while True:
+            block = handle.read(chunk_bytes)
+            if not block:
+                break
+            data = carry + block
+            cut = data.rfind(b"\n")
+            if cut < 0:
+                carry = data
+                continue
+            chunk, carry = data[: cut + 1], data[cut + 1:]
+            yield chunk, lineno
+            lineno += chunk.count(b"\n")
+    if carry:
+        yield carry, lineno
+
+
+def _parse_edge_lines(chunk, path, first_lineno, comments):
+    """Per-line reference parser (comments, ragged rows, exact errors)."""
+    edges = []
+    for offset, raw in enumerate(chunk.split(b"\n")):
+        line = raw.decode("utf-8", "replace").strip()
+        if not line or line.startswith(comments):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphFormatError(
+                f"{path}:{first_lineno + offset}: "
+                f"expected 'source target', got {line!r}"
+            )
+        try:
+            edges.append((int(parts[0]), int(parts[1])))
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"{path}:{first_lineno + offset}: "
+                f"non-integer node id in {line!r}"
+            ) from exc
+    if not edges:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.array(edges, dtype=np.int64)
+
+
+def _parse_edge_chunk(chunk, path, first_lineno, comments):
+    """One chunk's edges as an ``(c, 2)`` int64 array.
+
+    Fast path: mark line boundaries with a sentinel token, split once,
+    and check the token stream is exactly ``int int <sentinel>`` repeated
+    -- a single vectorized comparison.  Only a chunk that passes this
+    structural check is parsed with one ``astype`` call, so ragged or
+    commented chunks can never be silently mis-columned; they (and only
+    they) pay the per-line fallback.
+    """
+    comments_b = comments.encode()
+    if comments_b not in chunk and _SENTINEL not in chunk:
+        if not chunk.endswith(b"\n"):
+            chunk = chunk + b"\n"
+        tokens = chunk.replace(b"\n", b" " + _SENTINEL + b" ").split()
+        count = len(tokens)
+        if count and count % 3 == 0:
+            arr = np.array(tokens)
+            marks = arr == _SENTINEL
+            shaped = marks.reshape(-1, 3)
+            if shaped[:, 2].all() and not shaped[:, :2].any():
+                try:
+                    flat = arr[~marks].astype(np.int64)
+                except (ValueError, OverflowError):
+                    pass  # per-line pass reports the exact bad line
+                else:
+                    return flat.reshape(-1, 2)
+    return _parse_edge_lines(chunk, path, first_lineno, comments)
+
+
+# ----------------------------------------------------------------------
+# Edge-list text IO
+# ----------------------------------------------------------------------
 def read_edge_list(path, *, n=None, symmetrize=False, comments="#",
-                   dangling="absorb"):
+                   dangling="absorb", chunk_bytes=_CHUNK_BYTES):
     """Parse a whitespace-separated edge-list file.
 
     ``n`` defaults to ``max(node id) + 1``.  Lines starting with
     ``comments`` (after stripping) and blank lines are skipped.
+    Parsing is chunked and vectorized (see the module docstring); for
+    bounded-memory ingestion of files that do not fit in RAM use
+    :func:`ingest_edge_list` instead.
     """
-    edges = []
     path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            stripped = line.strip()
-            if not stripped or stripped.startswith(comments):
-                continue
-            parts = stripped.split()
-            if len(parts) < 2:
-                raise GraphFormatError(
-                    f"{path}:{lineno}: expected 'source target', got {stripped!r}"
-                )
-            try:
-                edges.append((int(parts[0]), int(parts[1])))
-            except ValueError as exc:
-                raise GraphFormatError(
-                    f"{path}:{lineno}: non-integer node id in {stripped!r}"
-                ) from exc
+    chunks = []
+    for chunk, first_lineno in _iter_text_chunks(path, chunk_bytes):
+        arr = _parse_edge_chunk(chunk, path, first_lineno, comments)
+        if arr.size:
+            chunks.append(arr)
+    if not chunks:
+        arr = np.empty((0, 2), dtype=np.int64)
+    elif len(chunks) == 1:
+        arr = chunks[0]
+    else:
+        arr = np.vstack(chunks)
     if n is None:
-        n = 1 + max((max(u, v) for u, v in edges), default=-1)
-    return from_edges(n, edges, symmetrize=symmetrize, dangling=dangling)
+        n = int(arr.max()) + 1 if arr.size else 0
+    return from_edges(n, arr, symmetrize=symmetrize, dangling=dangling)
 
 
-def write_edge_list(graph, path, *, header=True):
-    """Write the graph as a ``source target`` text file."""
+def write_edge_list(graph, path, *, header=True, block_nodes=65536):
+    """Write the graph as a ``source target`` text file.
+
+    Rows are emitted straight from :meth:`CSRGraph.edge_array` slices
+    via ``np.savetxt`` in ``block_nodes``-row blocks, so no O(m) Python
+    tuple list is ever built and mmap-backed graphs stream from the
+    page cache.
+    """
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with path.open("w", encoding="utf-8", newline="\n") as handle:
         if header:
             handle.write(f"# directed graph: n={graph.n} m={graph.m}\n")
-        for u, v in graph.edges():
-            handle.write(f"{u} {v}\n")
+        indptr = graph.indptr
+        for lo in range(0, graph.n, int(block_nodes)):
+            hi = min(graph.n, lo + int(block_nodes))
+            degs = np.diff(indptr[lo:hi + 1])
+            sources = np.repeat(np.arange(lo, hi, dtype=np.int64), degs)
+            targets = graph.indices[indptr[lo]:indptr[hi]]
+            if sources.size:
+                np.savetxt(handle, np.column_stack([sources, targets]),
+                           fmt="%d")
     return path
 
 
+# ----------------------------------------------------------------------
+# Binary .npz IO
+# ----------------------------------------------------------------------
 def save_npz(graph, path):
     """Persist the CSR arrays to a compressed ``.npz`` file."""
     path = Path(path)
@@ -91,10 +221,277 @@ def load_npz(path):
         )
 
 
+# ----------------------------------------------------------------------
+# Memory-mapped .rcsr IO (see repro.graph.mmap for the layout)
+# ----------------------------------------------------------------------
+def save_mmap(graph, path):
+    """Write the graph in the page-aligned ``.rcsr`` mmap layout.
+
+    The output loads back through :func:`load_mmap` as an
+    :class:`repro.graph.mmap.MmapCSRGraph` with byte-identical arrays
+    (:func:`graph_digest` is stable across save/load/mmap).
+    """
+    path = Path(path)
+    indptr = np.ascontiguousarray(graph.indptr, dtype=np.int64)
+    indices = np.ascontiguousarray(graph.indices, dtype=np.int64)
+    _, indices_off, total = mmap_layout(graph.n, graph.m)
+    with path.open("wb") as handle:
+        handle.write(pack_header(graph.n, graph.m, graph.dangling))
+        indptr.astype("<i8", copy=False).tofile(handle)
+        handle.seek(indices_off)
+        indices.astype("<i8", copy=False).tofile(handle)
+        handle.truncate(total)
+    return path
+
+
+def load_mmap(path, *, mode="r"):
+    """Open an ``.rcsr`` file as an :class:`MmapCSRGraph` (O(1) memory).
+
+    ``mode`` is the ``np.memmap`` mode: ``"r"`` (default, shared
+    read-only pages) or ``"r+"`` (in-place writable; used by the
+    streaming ingester).  Malformed input -- bad magic, unsupported
+    version, truncated sections -- raises :class:`GraphFormatError`.
+    """
+    if mode not in ("r", "r+"):
+        raise ParameterError(f"mode must be 'r' or 'r+', got {mode!r}")
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with path.open("rb") as handle:
+            head = handle.read(MMAP_ALIGN)
+    except OSError as exc:
+        raise GraphFormatError(
+            f"{path}: cannot read mmap graph: {exc}"
+        ) from exc
+    fields = unpack_header(head, path)
+    n, m = fields["n"], fields["m"]
+    need = fields["indices_offset"] + m * 8
+    if size < need:
+        raise GraphFormatError(
+            f"{path}: truncated mmap graph "
+            f"(file is {size} bytes, layout needs {need})"
+        )
+    indptr = np.memmap(path, dtype="<i8", mode=mode,
+                       offset=fields["indptr_offset"], shape=(n + 1,))
+    indices = np.memmap(path, dtype="<i8", mode=mode,
+                        offset=fields["indices_offset"], shape=(m,))
+    return MmapCSRGraph(n, indptr, indices, dangling=fields["dangling"],
+                        path=path, mode=mode)
+
+
+def npz_to_mmap(src, dst):
+    """Convert a :func:`save_npz` file to the ``.rcsr`` mmap layout.
+
+    Returns the output path.  The conversion is exact: the mmap graph's
+    :func:`graph_digest` equals the source graph's.
+    """
+    return save_mmap(load_npz(src), dst)
+
+
+# ----------------------------------------------------------------------
+# Streaming edge-list ingestion
+# ----------------------------------------------------------------------
+def _grown(arr, need):
+    """``arr`` grown (doubling) to at least ``need`` int64 slots."""
+    if arr.size >= need:
+        return arr
+    size = max(arr.size, 1)
+    while size < need:
+        size *= 2
+    out = np.zeros(size, dtype=np.int64)
+    out[:arr.size] = arr
+    return out
+
+
+def _release_pages(mm, start_byte, stop_byte):
+    """Flush ``mm`` and unmap its pages for a file byte range.
+
+    Mapped dirty pages count against the process RSS until flushed
+    *and* unmapped (``posix_fadvise`` alone skips in-use mappings), so
+    without this the ingester's resident set would quietly grow to the
+    whole output file.  ``MADV_DONTNEED`` on a shared file mapping only
+    drops the page-table entries -- the flushed file data is intact and
+    faults back in on the next access.  Best-effort no-op elsewhere.
+    """
+    raw = getattr(mm, "_mmap", None)
+    if raw is None or not hasattr(_mmap_mod, "MADV_DONTNEED"):
+        return
+    base = mm.offset - mm.offset % _mmap_mod.ALLOCATIONGRANULARITY
+    page = _mmap_mod.PAGESIZE
+    lo = max(start_byte - base, 0)
+    lo = (lo + page - 1) // page * page
+    hi = min(stop_byte - base, len(raw)) // page * page
+    if hi <= lo:
+        return
+    mm.flush()
+    try:
+        raw.madvise(_mmap_mod.MADV_DONTNEED, lo, hi - lo)
+    except OSError:
+        pass
+
+
+def ingest_edge_list(src, out, *, n=None, symmetrize=False, comments="#",
+                     dangling="absorb", chunk_bytes=_INGEST_CHUNK_BYTES,
+                     block_edges=1 << 19):
+    """Build an ``.rcsr`` mmap graph from an edge-list file, streaming.
+
+    A chunked two-pass construction whose peak anonymous memory is
+    O(n + chunk) -- never O(m) -- so multi-billion-edge SNAP dumps
+    ingest on a small machine:
+
+    1. **Count.**  One pass over the text accumulates out-degrees and
+       the maximum node id (``chunk_bytes`` of text at a time).
+    2. **Place.**  The output file is sized for the raw (duplicated)
+       edge count and a second pass counting-sorts every chunk's
+       targets into its source rows' segments via a per-row cursor --
+       random-access writes through ``np.memmap``, nothing buffered.
+    3. **Normalize.**  Row blocks of at most ``block_edges`` edges (a
+       single hub row may exceed it) are sorted, deduplicated and
+       compacted **in place** -- the write cursor never passes the read
+       cursor -- then the final ``indptr`` and header are rewritten and
+       the file is truncated to the deduplicated size.
+
+    The result is byte-identical to ``from_edges`` on the same input
+    (same sort, same dedup, same self-loop drop), asserted by
+    ``tests/test_graph_mmap.py``.  Returns the loaded
+    :class:`MmapCSRGraph` (read-only).
+    """
+    src, out = Path(src), Path(out)
+    if n is not None and n < 0:
+        raise ParameterError(f"n must be >= 0, got {n}")
+
+    # ---- pass 1: out-degrees + max id --------------------------------
+    degrees = np.zeros(1024, dtype=np.int64)
+    max_id = -1
+    m_raw = 0
+    for chunk, first_lineno in _iter_text_chunks(src, chunk_bytes):
+        arr = _parse_edge_chunk(chunk, src, first_lineno, comments)
+        if not arr.size:
+            continue
+        if int(arr.min()) < 0:
+            raise GraphFormatError(f"{src}: edge endpoint out of range")
+        arr = arr[arr[:, 0] != arr[:, 1]]
+        if not arr.size:
+            continue
+        hi = int(arr.max())
+        if n is not None and hi >= n:
+            raise GraphFormatError(
+                f"{src}: edge endpoint {hi} out of range for n={n}"
+            )
+        max_id = max(max_id, hi)
+        counts = np.bincount(arr[:, 0], minlength=hi + 1)
+        if symmetrize:
+            counts = counts + np.bincount(arr[:, 1], minlength=hi + 1)
+        degrees = _grown(degrees, counts.size)
+        degrees[:counts.size] += counts
+        m_raw += arr.shape[0] * (2 if symmetrize else 1)
+
+    n_final = int(n) if n is not None else max_id + 1
+    degrees = _grown(degrees, max(n_final, 1))[:n_final]
+    raw_indptr = np.zeros(n_final + 1, dtype=np.int64)
+    np.cumsum(degrees, out=raw_indptr[1:])
+    del degrees
+
+    indptr_off, indices_off, total_raw = mmap_layout(n_final, m_raw)
+    with out.open("wb") as handle:
+        handle.write(pack_header(n_final, m_raw, dangling))
+        handle.truncate(total_raw)
+
+    final_degrees = np.zeros(n_final, dtype=np.int64)
+    write_pos = 0
+    if m_raw:
+        indices_mm = np.memmap(out, dtype="<i8", mode="r+",
+                               offset=indices_off, shape=(m_raw,))
+        # ---- pass 2: counting-sort placement -------------------------
+        cursor = raw_indptr[:-1].copy()
+        dirty = 0
+        for chunk, first_lineno in _iter_text_chunks(src, chunk_bytes):
+            arr = _parse_edge_chunk(chunk, src, first_lineno, comments)
+            if arr.size:
+                arr = arr[arr[:, 0] != arr[:, 1]]
+            if symmetrize and arr.size:
+                arr = np.vstack([arr, arr[:, ::-1]])
+            if not arr.size:
+                continue
+            order = np.argsort(arr[:, 0], kind="stable")
+            sources = arr[order, 0]
+            targets = arr[order, 1]
+            uniq, start, counts = np.unique(
+                sources, return_index=True, return_counts=True
+            )
+            within = (np.arange(sources.size, dtype=np.int64)
+                      - np.repeat(start, counts))
+            indices_mm[cursor[sources] + within] = targets
+            cursor[uniq] += counts
+            # The scatter dirties pages across the whole indices region;
+            # release them periodically or the resident set grows to the
+            # file size (the pages fault back in cheaply when rewritten).
+            dirty += int(sources.size)
+            if dirty * 8 >= _PAGE_RELEASE_BYTES:
+                _release_pages(indices_mm, indices_off,
+                               indices_off + m_raw * 8)
+                dirty = 0
+        del cursor
+
+        # ---- pass 3: per-row sort + dedup + in-place compaction ------
+        row = 0
+        while row < n_final:
+            end = row + 1
+            while (end < n_final
+                   and raw_indptr[end + 1] - raw_indptr[row] <= block_edges):
+                end += 1
+            lo, hi = int(raw_indptr[row]), int(raw_indptr[end])
+            # Everything below the current read block is final (writes
+            # compact downward, so write_pos <= lo); those pages will
+            # never be touched again and can leave the page cache.
+            _release_pages(indices_mm, indices_off,
+                           indices_off + lo * 8)
+            if hi > lo:
+                block = np.array(indices_mm[lo:hi])
+                row_ids = np.repeat(
+                    np.arange(row, end, dtype=np.int64),
+                    np.diff(raw_indptr[row:end + 1]),
+                )
+                order = np.lexsort((block, row_ids))
+                rows_sorted = row_ids[order]
+                targets_sorted = block[order]
+                keep = np.ones(targets_sorted.size, dtype=bool)
+                keep[1:] = ((rows_sorted[1:] != rows_sorted[:-1])
+                            | (targets_sorted[1:] != targets_sorted[:-1]))
+                kept = targets_sorted[keep]
+                final_degrees[row:end] = np.bincount(
+                    rows_sorted[keep] - row, minlength=end - row
+                )
+                indices_mm[write_pos:write_pos + kept.size] = kept
+                write_pos += int(kept.size)
+            row = end
+        indices_mm.flush()
+        del indices_mm
+
+    final_indptr = np.zeros(n_final + 1, dtype=np.int64)
+    np.cumsum(final_degrees, out=final_indptr[1:])
+    m_final = int(final_indptr[-1])
+    assert m_final == write_pos, "ingest compaction lost edges"
+    _, _, total_final = mmap_layout(n_final, m_final)
+    with out.open("r+b") as handle:
+        handle.write(pack_header(n_final, m_final, dangling))
+        handle.seek(indptr_off)
+        final_indptr.astype("<i8", copy=False).tofile(handle)
+        handle.truncate(total_final)
+    return load_mmap(out)
+
+
+# ----------------------------------------------------------------------
+# Content hashing
+# ----------------------------------------------------------------------
 def graph_digest(graph):
-    """A stable content hash of the adjacency, for cache keys."""
+    """A stable content hash of the adjacency, for cache keys.
+
+    Identical for a graph and any faithful round-trip of it --
+    ``.npz``, ``.rcsr`` mmap, or streaming ingestion of its edge list.
+    """
     hasher = hashlib.sha256()
     hasher.update(np.int64(graph.n).tobytes())
-    hasher.update(graph.indptr.tobytes())
-    hasher.update(graph.indices.tobytes())
+    hasher.update(np.asarray(graph.indptr, dtype=np.int64).tobytes())
+    hasher.update(np.asarray(graph.indices, dtype=np.int64).tobytes())
     return hasher.hexdigest()

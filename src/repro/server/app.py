@@ -19,9 +19,15 @@ not a demo:
   requests up to ``drain_timeout`` seconds, then retires walk pools and
   push caches through the engine's existing close path.
 
+With ``--degraded-tier`` the server stops shedding ``/query`` under
+overload or an expiring deadline and instead answers from the cheap
+cumulative-power-iteration tier, labelling every response with
+``tier`` and ``accuracy_achieved`` (see ``docs/scale.md``).
+
 Endpoints: ``POST /query``, ``POST /query_batch``, ``POST /top_k``,
-``POST /mutate``, ``GET /healthz``, ``GET /readyz``, ``GET /metrics``.
-See ``docs/server.md`` for the wire reference.
+``POST /top_k_batch``, ``POST /mutate``, ``GET /healthz``,
+``GET /readyz``, ``GET /metrics``.  See ``docs/server.md`` for the
+wire reference.
 """
 
 from __future__ import annotations
@@ -76,6 +82,14 @@ class ServerConfig:
     max_body_bytes: int = 1_048_576
     retry_after_seconds: int = 1        # hint sent with 503 sheds
     client_header: str = "x-client-id"
+    # Degraded serving tier (opt-in; docs/scale.md).  When enabled, a
+    # /query that would be shed (queue full) or miss its deadline is
+    # answered by the cheap CPI tier with truthful tier/accuracy fields
+    # instead of a 503/504.
+    degraded_tier: bool = False
+    degraded_rounds: int = 8
+    degraded_headroom_ms: float = 50.0
+    degraded_inflight: int = 8
 
     def __post_init__(self):
         if self.dispatch_workers < 1:
@@ -87,6 +101,18 @@ class ServerConfig:
                 f"default_deadline_ms must be positive, "
                 f"got {self.default_deadline_ms}"
             )
+
+    def tier_policy(self):
+        """The :class:`repro.serving.tiers.TierPolicy` these settings
+        describe (validates the degraded_* fields)."""
+        from repro.serving.tiers import TierPolicy
+
+        return TierPolicy(
+            enabled=bool(self.degraded_tier),
+            rounds=int(self.degraded_rounds),
+            headroom_ms=float(self.degraded_headroom_ms),
+            max_inflight=int(self.degraded_inflight),
+        )
 
 
 class SSRWRServer:
@@ -108,6 +134,13 @@ class SSRWRServer:
         self._config = config or ServerConfig()
         self._own_engine = bool(own_engine)
         self._admission = AdmissionController(self._config.max_inflight)
+        self._tier_policy = self._config.tier_policy()
+        # Downgrades get their own small admission queue: escaping
+        # overload through the queue that is overloaded would be no
+        # escape at all.
+        self._degraded_admission = AdmissionController(
+            self._tier_policy.max_inflight
+        )
         self._limiter = None
         if self._config.rate_limit is not None:
             self._limiter = TokenBucket(self._config.rate_limit,
@@ -127,6 +160,7 @@ class SSRWRServer:
             ("POST", "/query"): self._handle_query,
             ("POST", "/query_batch"): self._handle_query_batch,
             ("POST", "/top_k"): self._handle_top_k,
+            ("POST", "/top_k_batch"): self._handle_top_k_batch,
             ("POST", "/mutate"): self._handle_mutate,
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/readyz"): self._handle_readyz,
@@ -311,6 +345,26 @@ class SSRWRServer:
             return render_response(status, body,
                                    extra_headers={"Retry-After": str(retry)})
         if not self._admission.try_acquire():
+            # Overload.  With the degraded tier enabled, /query escapes
+            # through a separate small admission queue and is answered
+            # by the cheap CPI tier (200 with truthful tier/accuracy
+            # fields); everything else -- and /query once the degraded
+            # slots are also full -- sheds with 503 as before.
+            if (self._tier_policy.enabled and endpoint == "/query"
+                    and self._degraded_admission.try_acquire()):
+                try:
+                    status, body, headers, ctype = await self._dispatch(
+                        lambda req: self._handle_query(
+                            req, degraded="overload"
+                        ),
+                        request,
+                    )
+                finally:
+                    self._degraded_admission.release()
+                self.metrics.observe_request(endpoint, status,
+                                             time.perf_counter() - tic)
+                return render_response(status, body, content_type=ctype,
+                                       extra_headers=headers)
             status, body = 503, json_body(
                 {"error": "pending-request queue is full"}
             )
@@ -323,34 +377,34 @@ class SSRWRServer:
                 },
             )
         try:
-            status, body, headers, ctype = await handler(request)
-        except ProtocolError as exc:
-            status, body, headers, ctype = (
-                exc.status, json_body({"error": exc.message}), None,
-                "application/json",
-            )
-        except DeadlineExceededError as exc:
-            status, body, headers, ctype = (
-                504, json_body({"error": str(exc)}), None,
-                "application/json",
-            )
-        except ParameterError as exc:
-            status, body, headers, ctype = (
-                400, json_body({"error": str(exc)}), None,
-                "application/json",
-            )
-        except Exception as exc:   # noqa: BLE001 -- last-resort 500
-            status, body, headers, ctype = (
-                500,
-                json_body({"error": f"{type(exc).__name__}: {exc}"}),
-                None, "application/json",
-            )
+            status, body, headers, ctype = await self._dispatch(handler,
+                                                                request)
         finally:
             self._admission.release()
         self.metrics.observe_request(endpoint, status,
                                      time.perf_counter() - tic)
         return render_response(status, body, content_type=ctype,
                                extra_headers=headers)
+
+    async def _dispatch(self, handler, request):
+        """Run one work handler, mapping domain errors to status codes."""
+        try:
+            return await handler(request)
+        except ProtocolError as exc:
+            return (exc.status, json_body({"error": exc.message}), None,
+                    "application/json")
+        except DeadlineExceededError as exc:
+            return (504, json_body({"error": str(exc)}), None,
+                    "application/json")
+        except ParameterError as exc:
+            return (400, json_body({"error": str(exc)}), None,
+                    "application/json")
+        except Exception as exc:   # noqa: BLE001 -- last-resort 500
+            return (
+                500,
+                json_body({"error": f"{type(exc).__name__}: {exc}"}),
+                None, "application/json",
+            )
 
     # ------------------------------------------------------------------
     # Request helpers
@@ -405,23 +459,75 @@ class SSRWRServer:
     # ------------------------------------------------------------------
     # Endpoint handlers (each returns status, body, headers, ctype)
     # ------------------------------------------------------------------
-    async def _handle_query(self, request):
+    def _query_contract(self, accuracy):
+        """The accuracy contract a query is answered under (``None``
+        only on degenerate graphs where paper defaults are undefined)."""
+        if accuracy is not None:
+            return accuracy
+        n = self._engine.graph.n
+        return AccuracyParams.paper_defaults(n) if n >= 2 else None
+
+    async def _handle_query(self, request, degraded=None):
+        """Answer ``POST /query``.
+
+        ``degraded`` is the downgrade reason when :meth:`_respond`
+        already decided this request cannot have an exact answer
+        (``"overload"``); the handler itself adds ``"deadline"``
+        downgrades -- both up front when the remaining budget is below
+        the policy headroom, and on a mid-solve
+        :class:`DeadlineExceededError`.  Every response carries
+        ``tier`` + ``accuracy_achieved``; degraded ones add
+        ``degraded_reason`` and the CPI ``error_bound``.
+        """
+        from repro.serving.tiers import TIER_CPI, achieved_eps, tier_of
+
         payload = request.json()
         source = self._int_field(payload, "source")
         accuracy = self._accuracy_from(payload)
         deadline = self._deadline_for(request)
         top_k = payload.get("top_k")
-        result = await self._in_pool(
-            lambda: self._engine.query(source, accuracy=accuracy,
-                                       deadline=deadline)
-        )
+        policy = self._tier_policy
+        reason = degraded
+        if reason is None and policy.enabled:
+            remaining_ms = (deadline - time.monotonic()) * 1000.0
+            if policy.wants_downgrade(remaining_ms):
+                reason = "deadline"
+        result = None
+        if reason is None:
+            try:
+                result = await self._in_pool(
+                    lambda: self._engine.query(source, accuracy=accuracy,
+                                               deadline=deadline)
+                )
+            except DeadlineExceededError:
+                if not policy.enabled:
+                    raise
+                reason = "deadline"
+        if result is None:
+            # The cheap tier ignores the (already blown or nearly blown)
+            # deadline: a few frontier sweeps always complete.
+            result = await self._in_pool(
+                lambda: self._engine.query_cheap(source, accuracy=accuracy,
+                                                 rounds=policy.rounds)
+            )
+        tier = tier_of(result)
         doc = {
             "source": result.source,
             "epoch": self._engine.epoch,
             "algorithm": result.algorithm,
             "walks_used": int(result.walks_used),
             "pushes": int(result.pushes),
+            "tier": tier,
+            "accuracy_achieved": _finite_or_none(
+                achieved_eps(result, self._query_contract(accuracy))
+            ),
         }
+        if tier == TIER_CPI:
+            doc["degraded_reason"] = reason
+            doc["error_bound"] = _finite_or_none(
+                result.extras.get("error_bound")
+            )
+            self.metrics.observe_degraded(tier)
         if top_k is not None:
             nodes, values = result.top_k(int(top_k))
             doc["nodes"] = [int(v) for v in nodes]
@@ -454,6 +560,9 @@ class SSRWRServer:
             raise DeadlineExceededError(
                 "batch deadline expired before every source was answered"
             )
+        from repro.serving.tiers import achieved_eps
+
+        contract = self._query_contract(accuracy)
         results = []
         for result in outcome.results:
             if result is None:
@@ -462,6 +571,10 @@ class SSRWRServer:
                 results.append({
                     "source": result.source,
                     "estimates": [float(v) for v in result.estimates],
+                    "tier": "exact",
+                    "accuracy_achieved": _finite_or_none(
+                        achieved_eps(result, contract)
+                    ),
                 })
         doc = {
             "epoch": self._engine.epoch,
@@ -507,6 +620,65 @@ class SSRWRServer:
             "bound_width": _finite_or_none(answer.bound_width),
             "walks_used": int(answer.walks_used),
             "pushes": int(answer.pushes),
+            "tier": "exact",
+        }
+        return 200, json_body(doc), None, "application/json"
+
+    async def _handle_top_k_batch(self, request):
+        """Answer ``POST /top_k_batch``: one ranked answer per source,
+        reusing the engine's batch fan-out (``on_error="collect"`` so a
+        bad source yields an entry in ``errors`` instead of failing the
+        whole batch)."""
+        payload = request.json()
+        sources = payload.get("sources")
+        if not isinstance(sources, list) or not sources:
+            raise ProtocolError(400, "'sources' must be a non-empty list")
+        for value in sources:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(400, "'sources' must hold integers")
+        k = self._int_field(payload, "k")
+        if k < 1:
+            raise ProtocolError(400, "'k' must be >= 1")
+        mode = payload.get("mode", "auto")
+        if mode not in ("auto", "fast", "full"):
+            raise ProtocolError(
+                400, f"mode must be auto | fast | full, got {mode!r}"
+            )
+        accuracy = self._accuracy_from(payload)
+        deadline = self._deadline_for(request)
+        outcome = await self._in_pool(
+            lambda: self._engine.top_k_batch(
+                sources, k, accuracy=accuracy, deadline=deadline,
+                mode=mode, on_error="collect",
+            )
+        )
+        if (outcome.errors
+                and any(result is None for result in outcome.results)
+                and time.monotonic() >= deadline):
+            raise DeadlineExceededError(
+                "batch deadline expired before every source was answered"
+            )
+        results = []
+        for source, answer in zip(sources, outcome.results):
+            if answer is None:
+                results.append(None)
+                continue
+            self.metrics.observe_top_k(answer.path)
+            results.append({
+                "source": int(source),
+                "nodes": [int(v) for v in answer.nodes],
+                "values": [float(v) for v in answer.values],
+                "path": answer.path,
+                "separated": bool(answer.separated),
+                "bound_gap": _finite_or_none(answer.bound_gap),
+                "bound_width": _finite_or_none(answer.bound_width),
+            })
+        doc = {
+            "epoch": self._engine.epoch,
+            "k": int(k),
+            "results": results,
+            "errors": {str(source): message
+                       for source, message in outcome.errors.items()},
         }
         return 200, json_body(doc), None, "application/json"
 
@@ -712,6 +884,20 @@ def build_parser():
                         help="fraction of the contract eps the solver "
                              "targets on cache misses, in (0, 1]; "
                              "default 0.5 with --incremental else 1.0")
+    parser.add_argument("--mmap", action="store_true",
+                        help="serve the dataset from a file-backed mmap "
+                             "CSR instead of resident arrays "
+                             "(docs/scale.md)")
+    parser.add_argument("--degraded-tier", action="store_true",
+                        help="answer overloaded or deadline-starved "
+                             "/query requests from the cheap CPI tier "
+                             "(200 with tier/accuracy_achieved fields) "
+                             "instead of 503/504 (docs/scale.md)")
+    parser.add_argument("--degraded-rounds", type=int, default=8,
+                        help="CPI truncation rounds for degraded answers")
+    parser.add_argument("--degraded-headroom-ms", type=float, default=50.0,
+                        help="downgrade up front when less than this "
+                             "budget remains")
     return parser
 
 
@@ -721,7 +907,8 @@ def main(argv=None):
 
     args = build_parser().parse_args(argv)
     try:
-        graph = catalog.load(args.dataset, scale=args.scale)
+        graph = catalog.load(args.dataset, scale=args.scale,
+                             mmap=args.mmap)
     except ParameterError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -750,6 +937,9 @@ def main(argv=None):
         rate_limit=args.rate_limit, rate_burst=args.rate_burst,
         default_deadline_ms=args.default_deadline_ms,
         drain_timeout=args.drain_timeout,
+        degraded_tier=args.degraded_tier,
+        degraded_rounds=args.degraded_rounds,
+        degraded_headroom_ms=args.degraded_headroom_ms,
     )
     server = SSRWRServer(engine, config)
 

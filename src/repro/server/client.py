@@ -163,6 +163,18 @@ class ServerClient:
         return self.request("POST", "/top_k", payload,
                             deadline_ms=deadline_ms)
 
+    def top_k_batch(self, sources, k, *, accuracy=None, deadline_ms=None,
+                    mode=None):
+        """One ranked answer per source (``results`` aligns with
+        ``sources``; invalid sources land in ``errors``)."""
+        payload = {"sources": [int(s) for s in sources], "k": int(k)}
+        if accuracy is not None:
+            payload["accuracy"] = _accuracy_payload(accuracy)
+        if mode is not None:
+            payload["mode"] = str(mode)
+        return self.request("POST", "/top_k_batch", payload,
+                            deadline_ms=deadline_ms)
+
     def add_edge(self, u, v, *, undirected=False):
         return self.request("POST", "/mutate", {
             "op": "add_edge", "u": int(u), "v": int(v),

@@ -69,6 +69,7 @@ class ServerMetrics:
         self.mutations_total = 0
         self.topk_fast_total = 0
         self.topk_full_total = 0
+        self.degraded_total = {}    # tier -> count
 
     def observe_request(self, endpoint, status, seconds):
         """Record one finished request (any endpoint, any status)."""
@@ -99,6 +100,14 @@ class ServerMetrics:
             else:
                 self.topk_full_total += 1
 
+    def observe_degraded(self, tier):
+        """Record one query answered below the exact tier (an overload
+        or tight-deadline downgrade; ``tier`` is the label the response
+        carried, e.g. ``"cpi"``)."""
+        with self._lock:
+            tier = str(tier)
+            self.degraded_total[tier] = self.degraded_total.get(tier, 0) + 1
+
     def snapshot(self):
         """JSON-safe copy of the server-side counters (for tests/bench)."""
         with self._lock:
@@ -121,6 +130,7 @@ class ServerMetrics:
                 "mutations_total": self.mutations_total,
                 "topk_fast_total": self.topk_fast_total,
                 "topk_full_total": self.topk_full_total,
+                "degraded_total": dict(self.degraded_total),
             }
 
     # ------------------------------------------------------------------
@@ -143,6 +153,8 @@ class ServerMetrics:
             mutations = self.mutations_total
             topk_paths = [("", {"path": "topk"}, self.topk_fast_total),
                           ("", {"path": "full"}, self.topk_full_total)]
+            degraded = [("", {"tier": tier}, count)
+                        for tier, count in sorted(self.degraded_total.items())]
 
         latency_samples = [
             ("", {"quantile": f"{q:g}"}, seconds)
@@ -175,6 +187,10 @@ class ServerMetrics:
              "help": "/top_k answers by solver path (topk = fast path "
                      "certified the set, full = full solve).",
              "samples": topk_paths},
+            {"name": "repro_http_degraded_answers_total", "type": "counter",
+             "help": "Queries answered by a degraded tier instead of "
+                     "being shed (503) or timed out (504), by tier.",
+             "samples": degraded},
             {"name": "repro_http_inflight", "type": "gauge",
              "help": "Requests admitted and not yet answered.",
              "samples": [("", None, inflight)]},
@@ -249,7 +265,20 @@ def _engine_families(engine):
          "help": "Evicted entries recomputed in the background after a "
                  "mutation (incremental engines only).",
          "samples": [("", None, stats.entries_repaired)]},
+        {"name": "repro_engine_tier_downgrades_total", "type": "counter",
+         "help": "Queries answered by the degraded CPI tier "
+                 "(query_cheap calls; see docs/scale.md).",
+         "samples": [("", None, stats.tier_downgrades)]},
     ]
+    graph = getattr(engine, "graph", None)
+    resident = getattr(graph, "resident_bytes", None)
+    if resident is not None:
+        families.append({
+            "name": "repro_graph_resident_bytes", "type": "gauge",
+            "help": "Graph state held in anonymous RAM (file-backed "
+                    "mmap pages excluded; see docs/scale.md).",
+            "samples": [("", None, resident)],
+        })
     summary = engine.trace_summary() if getattr(
         engine, "_trace_enabled", False) else None
     if summary:

@@ -68,6 +68,9 @@ class ServiceStats:
     #: evicted entries recomputed in the background off the read path.
     entries_retained: int = 0
     entries_repaired: int = 0
+    #: queries answered by the degraded CPI tier instead of a full solve
+    #: (``query_cheap`` calls; see docs/scale.md).
+    tier_downgrades: int = 0
     extras: dict = field(default_factory=dict)
 
     @property

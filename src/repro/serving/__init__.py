@@ -18,7 +18,10 @@ pieces:
   cache-cold workloads; see ``docs/multiprocess.md``);
 * :mod:`repro.serving.retention` -- the offset-bound math that lets
   incremental engines keep cached answers across single-edge mutations
-  instead of invalidating everything (see ``docs/dynamic.md``).
+  instead of invalidating everything (see ``docs/dynamic.md``);
+* :mod:`repro.serving.tiers` -- the exact/degraded tier vocabulary and
+  the :class:`TierPolicy` that lets the HTTP layer downgrade to a
+  cheap CPI answer instead of shedding (see ``docs/scale.md``).
 
 See ``docs/serving.md`` for the design and the determinism contract
 (batched results are byte-identical to a sequential loop for fixed
@@ -34,6 +37,14 @@ from repro.serving.engine import (
 from repro.serving.epoch import EpochGate
 from repro.serving.multiproc import MultiProcessQueryEngine
 from repro.serving.retention import RetentionMeta
+from repro.serving.tiers import (
+    TIER_CPI,
+    TIER_EXACT,
+    TIERS,
+    TierPolicy,
+    achieved_eps,
+    tier_of,
+)
 
 __all__ = [
     "BatchOutcome",
@@ -42,5 +53,11 @@ __all__ = [
     "MultiProcessQueryEngine",
     "RetentionMeta",
     "SingleFlightCache",
+    "TIER_CPI",
+    "TIER_EXACT",
+    "TIERS",
+    "TierPolicy",
     "WORKER_NAME_PREFIX",
+    "achieved_eps",
+    "tier_of",
 ]

@@ -162,8 +162,20 @@ class ConcurrentQueryEngine:
             raise ParameterError(
                 f"solve_margin must be in (0, 1], got {solve_margin}"
             )
-        self._builder = GraphBuilder(graph=graph)
-        self._graph = self._builder.build()
+        from repro.graph.mmap import mmap_path_of
+
+        if mmap_path_of(graph) is not None:
+            # Mmap-backed snapshot: GraphBuilder would materialize the
+            # whole edge set as Python tuples (O(m) RAM), defeating the
+            # out-of-core tier.  Serve the snapshot directly; a builder
+            # is created lazily on first mutation (which *does* pull the
+            # graph into RAM -- mutation of an mmap graph is supported
+            # but not cheap).
+            self._builder = None
+            self._graph = graph
+        else:
+            self._builder = GraphBuilder(graph=graph)
+            self._graph = self._builder.build()
         self._accuracy = accuracy
         self._seed = int(seed)
         if solver is None or isinstance(solver, str):
@@ -341,6 +353,120 @@ class ConcurrentQueryEngine:
             else:
                 self.stats.cache_misses += 1
         return result
+
+    def query_cheap(self, source, *, accuracy=None, rounds=None):
+        """Degraded-tier answer: cumulative power iteration (TPA-style).
+
+        A cheap, deterministic, deadline-free solve -- ``rounds`` sweeps
+        of :func:`repro.core.cpi.cpi` -- returning an *underestimate*
+        with a computable per-node bound (``extras["error_bound"]``,
+        plus ``extras["eps_achieved"]`` relative to the accuracy
+        contract's ``delta``).  The HTTP layer falls back to this tier
+        under overload or an expiring deadline instead of shedding with
+        503/504 (see :mod:`repro.serving.tiers` and ``docs/scale.md``).
+
+        Answers are cached under disjoint ``("cpi", source, accuracy,
+        rounds)`` keys, single-flighted like any other query, and never
+        retained across mutations.  Every call -- hit or miss -- counts
+        in ``stats.tier_downgrades``.
+        """
+        from repro.core.cpi import DEFAULT_CPI_ROUNDS
+
+        rounds = DEFAULT_CPI_ROUNDS if rounds is None else int(rounds)
+        if rounds < 0:
+            raise ParameterError(f"rounds must be >= 0, got {rounds}")
+
+        def build(graph, epoch):
+            effective = accuracy or self._accuracy
+            return (("cpi", int(source), effective, rounds),
+                    lambda: self._compute_cpi(graph, int(source), effective,
+                                              rounds, epoch),
+                    None)
+
+        result = self._serve(source, None, build)
+        with self._stats_lock:
+            self.stats.tier_downgrades += 1
+        return result
+
+    def _compute_cpi(self, graph, source, accuracy, rounds, epoch):
+        """One cheap-tier solve.  Runs in the calling thread even on the
+        multi-process engine: the whole point of the tier is an answer
+        whose cost is a handful of frontier sweeps, not worth a
+        process round-trip."""
+        from repro.core.cpi import cpi
+        from repro.obs.trace import NULL_TRACE
+
+        inner = QueryTrace(epoch=epoch) if self._trace_enabled else None
+        tic = time.perf_counter()
+        result = cpi(graph, source, rounds=rounds,
+                     trace=inner if inner is not None else NULL_TRACE)
+        contract = accuracy
+        if contract is None and graph.n >= 2:
+            contract = AccuracyParams.paper_defaults(graph.n)
+        result.extras["eps_achieved"] = (
+            result.extras["error_bound"] / contract.delta
+            if contract is not None else None
+        )
+        self._record_solver_run(inner, time.perf_counter() - tic)
+        return result
+
+    def top_k_batch(self, sources, k, *, accuracy=None, deadline=None,
+                    mode="auto", on_error="raise"):
+        """Top-k answers for many sources; results in input order.
+
+        The same triage contract as :meth:`query_batch`: every source is
+        validated up front, ``on_error="raise"`` rejects an invalid
+        batch wholesale, ``on_error="collect"`` answers the valid
+        sources and reports failures in a :class:`BatchOutcome`.
+        Duplicate sources share one cached answer via single-flight.
+        Each answer is a :class:`repro.core.TopKAnswer`, so per-source
+        ``path`` / ``separated`` survive into the HTTP batch endpoint.
+        """
+        if on_error not in ("raise", "collect"):
+            raise ParameterError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}"
+            )
+        if mode not in ("auto", "fast", "full"):
+            raise ParameterError(
+                f"mode must be 'auto', 'fast' or 'full', got {mode!r}"
+            )
+        k = int(k)
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        sources = [int(s) for s in sources]
+        with self._gate.read():
+            n = self._graph.n
+        invalid = {}
+        for s in sources:
+            if not 0 <= s < n and s not in invalid:
+                invalid[s] = f"source {s} out of range for n={n}"
+        if on_error == "raise":
+            if invalid:
+                raise ParameterError(
+                    f"top_k_batch rejected {len(invalid)} invalid "
+                    f"source(s) up front: "
+                    + "; ".join(invalid[s] for s in sorted(invalid))
+                )
+            futures = [
+                self._executor.submit(self.top_k, s, k, accuracy=accuracy,
+                                      deadline=deadline, mode=mode)
+                for s in sources
+            ]
+            return [future.result() for future in futures]
+        results = [None] * len(sources)
+        errors = dict(invalid)
+        futures = {
+            index: self._executor.submit(self.top_k, s, k,
+                                         accuracy=accuracy,
+                                         deadline=deadline, mode=mode)
+            for index, s in enumerate(sources) if s not in invalid
+        }
+        for index, future in futures.items():
+            try:
+                results[index] = future.result()
+            except Exception as exc:
+                errors[sources[index]] = str(exc) or type(exc).__name__
+        return BatchOutcome(results=results, errors=errors)
 
     def query_batch(self, sources, *, accuracy=None, deadline=None,
                     on_error="raise"):
@@ -805,7 +931,7 @@ class ConcurrentQueryEngine:
 
         repairs = []
         with self._gate.write() as gate:
-            changed, edits = mutation(self._builder)
+            changed, edits = mutation(self._ensure_builder())
             if changed:
                 gate.advance()
                 # Release the old snapshot's push cache inside the write
@@ -825,6 +951,17 @@ class ConcurrentQueryEngine:
         if repairs:
             self._schedule_repairs(repairs)
         return changed
+
+    def _ensure_builder(self):
+        """The mutation builder, created lazily for mmap-backed graphs.
+
+        Callers hold the write gate.  The first mutation of an
+        mmap-served engine pays the O(m) materialization that the
+        constructor deliberately skipped.
+        """
+        if self._builder is None:
+            self._builder = GraphBuilder(graph=self._graph)
+        return self._builder
 
     def _apply_edits(self, old_graph, edits):
         """The post-mutation snapshot.
@@ -915,6 +1052,11 @@ class ConcurrentQueryEngine:
             if key[0] == "topk":
                 _, source, accuracy, k, mode = key
                 self.top_k(source, k, accuracy=accuracy, mode=mode)
+            elif key[0] == "cpi":
+                # Cheap-tier entries cost a handful of sweeps to rebuild
+                # on demand; repairing them would also inflate the
+                # tier_downgrades counter without a degraded request.
+                return
             else:
                 source, accuracy = key
                 self.query(source, accuracy=accuracy)

@@ -14,7 +14,9 @@ worker processes that all map the *same* graph snapshot zero-copy:
   :func:`repro.walks.parallel.attach_csr_graph` -- no pickling of the
   graph, no per-worker copy of ``indptr``/``indices``.  Only the tiny
   handle dict, the query parameters, and the result vector cross the
-  process boundary.
+  process boundary.  Mmap-backed graphs (``repro.graph.mmap``) skip the
+  shared-memory copy entirely: the handle carries the ``.rcsr`` path
+  and every worker maps the same file pages (see ``docs/scale.md``).
 
 * **Cross-process single-flight.**  Every query routes through the
   dispatcher's :class:`repro.serving.cache.SingleFlightCache` *before*

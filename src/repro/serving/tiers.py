@@ -1,0 +1,98 @@
+"""Serving tiers: exact answers and the degraded CPI fallback.
+
+The engines answer at two tiers:
+
+* ``"exact"`` -- the configured solver (resacc / powerpush / top-k),
+  honoring the full accuracy contract of Definition 1.
+* ``"cpi"`` -- :meth:`ConcurrentQueryEngine.query_cheap`, a TPA-style
+  cumulative power iteration (:mod:`repro.core.cpi`) whose answer is a
+  uniform underestimate with a *computable* additive bound.
+
+:class:`TierPolicy` is the HTTP layer's knob set: when enabled, a
+``/query`` that would otherwise be shed (pending-request queue full) or
+time out (remaining deadline below ``headroom_ms``) is *downgraded* to
+the cheap tier and answered 200 with truthful ``tier`` /
+``accuracy_achieved`` fields, instead of a 503/504.  The policy is off
+by default -- degrading silently changes answer semantics, so operators
+opt in (``--degraded-tier``).  See ``docs/scale.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cpi import DEFAULT_CPI_ROUNDS
+from repro.errors import ParameterError
+
+#: Tier label of a full-contract answer.
+TIER_EXACT = "exact"
+#: Tier label of a degraded cumulative-power-iteration answer.
+TIER_CPI = "cpi"
+#: Every tier a query response may report.
+TIERS = (TIER_EXACT, TIER_CPI)
+
+
+@dataclass(frozen=True)
+class TierPolicy:
+    """When and how the HTTP layer downgrades to the CPI tier.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; everything below is inert when false.
+    rounds:
+        CPI round budget of a degraded answer (error bound
+        ``<= (1 - alpha)^rounds``).
+    headroom_ms:
+        A query whose remaining deadline is below this is downgraded up
+        front rather than started and cancelled mid-solve.
+    max_inflight:
+        Admission slots reserved for degraded answers, separate from
+        the main pending-request queue (a downgrade must not compete
+        with the very overload it is escaping).  When these are also
+        exhausted the server sheds with 503 as before.
+    """
+
+    enabled: bool = False
+    rounds: int = DEFAULT_CPI_ROUNDS
+    headroom_ms: float = 50.0
+    max_inflight: int = 8
+
+    def __post_init__(self):
+        if self.rounds < 0:
+            raise ParameterError(
+                f"rounds must be >= 0, got {self.rounds}"
+            )
+        if self.headroom_ms < 0:
+            raise ParameterError(
+                f"headroom_ms must be >= 0, got {self.headroom_ms}"
+            )
+        if self.max_inflight < 1:
+            raise ParameterError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+
+    def wants_downgrade(self, remaining_ms):
+        """Whether a query with ``remaining_ms`` budget should skip the
+        exact tier entirely."""
+        return (self.enabled and remaining_ms is not None
+                and remaining_ms < self.headroom_ms)
+
+
+def tier_of(result):
+    """The tier label a solver result answers at (``extras["tier"]``,
+    defaulting to exact)."""
+    return result.extras.get("tier", TIER_EXACT)
+
+
+def achieved_eps(result, contract=None):
+    """The relative-error level a result truthfully achieves.
+
+    Exact-tier results achieve their contract's ``eps``; CPI results
+    carry ``extras["eps_achieved"]`` (= ``error_bound / delta``)
+    computed by the engine.  Returns ``None`` when no contract is
+    available to normalize against.
+    """
+    if tier_of(result) == TIER_CPI:
+        return result.extras.get("eps_achieved")
+    return contract.eps if contract is not None else None

@@ -71,7 +71,22 @@ class SharedCSRGraph:
     """
 
     def __init__(self, graph):
+        from repro.graph.mmap import mmap_path_of
+
         self._blocks = []
+        mmap_path = mmap_path_of(graph)
+        if mmap_path is not None:
+            # The graph is already file-backed: every process can map
+            # the same pages straight off the .rcsr file, so the handle
+            # carries the *path* instead of copying tens of gigabytes
+            # of adjacency into POSIX shared memory.
+            self.handle = {
+                "n": int(graph.n),
+                "dangling": graph.dangling,
+                "mmap_path": str(mmap_path),
+            }
+            self._closed = False
+            return
         arrays = {}
         for name in _SHARED_ARRAYS:
             arr = np.ascontiguousarray(getattr(graph, name))
@@ -131,6 +146,8 @@ _GRAPH_CACHE = {}     # handle key -> CSRGraph (full solver surface)
 
 
 def _handle_key(handle):
+    if "mmap_path" in handle:
+        return ("mmap", handle["mmap_path"])
     return tuple(spec[0] for spec in handle["arrays"].values())
 
 
@@ -139,6 +156,17 @@ def _attach_views(handle):
     cached = _ATTACHED.get(key)
     if cached is not None:
         return cached[0]
+    if "mmap_path" in handle:
+        from repro.graph.io import load_mmap
+
+        graph = load_mmap(handle["mmap_path"])
+        views = {
+            "indptr": graph.indptr,
+            "indices": graph.indices,
+            "out_degrees": np.diff(graph.indptr),
+        }
+        _ATTACHED[key] = (views, [])
+        return views
     blocks, views = [], {}
     for name in _SHARED_ARRAYS:
         shm_name, shape, dtype = handle["arrays"][name]

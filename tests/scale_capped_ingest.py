@@ -1,0 +1,115 @@
+"""CI guard: streaming ingestion really is bounded-memory.
+
+Generates a 5M-line edge list, then loads it in two subprocesses that
+run under a hard ``RLIMIT_DATA`` cap (anonymous memory only -- mmap
+file pages are exempt, which is exactly the point of the ``.rcsr``
+design):
+
+* :func:`repro.graph.io.ingest_edge_list` must **succeed** under the
+  cap and reproduce :func:`repro.graph.io.read_edge_list`'s digest;
+* :func:`repro.graph.io.read_edge_list` must **fail** under the same
+  cap (it materializes O(m) resident arrays), proving the cap is tight
+  enough that passing it means something.
+
+Run directly (``python tests/scale_capped_ingest.py``); exits non-zero
+on any violation.  See docs/scale.md.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+CAP_BYTES = 256 << 20
+EDGES = 5_000_000
+NODES = 500_000
+
+_WORKER = r"""
+import json
+import resource
+import sys
+
+cap = int(sys.argv[1])
+resource.setrlimit(resource.RLIMIT_DATA, (cap, cap))
+
+from repro.graph.io import graph_digest, ingest_edge_list, read_edge_list
+
+mode, src, out = sys.argv[2], sys.argv[3], sys.argv[4]
+try:
+    if mode == "stream":
+        graph = ingest_edge_list(src, out)
+    else:
+        graph = read_edge_list(src)
+except MemoryError:
+    print(json.dumps({"mode": mode, "outcome": "MemoryError"}))
+    raise SystemExit(0)
+print(json.dumps({"mode": mode, "outcome": "ok", "n": graph.n,
+                  "m": graph.m, "digest": graph_digest(graph)}))
+"""
+
+
+def run_capped(mode, src, out):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _WORKER, str(CAP_BYTES), mode,
+         str(src), str(out)],
+        capture_output=True, text=True, env=env, check=False,
+    )
+    if proc.returncode != 0:
+        # A MemoryError inside numpy internals can escalate to a
+        # hard abort instead of the except branch; treat any non-zero
+        # exit as the allocation failing.
+        return {"mode": mode, "outcome": "MemoryError",
+                "detail": proc.stderr.strip()[-200:]}
+    return json.loads(proc.stdout)
+
+
+def main():
+    sys.path.insert(0, str(REPO_SRC))
+    from repro.bench.harness import write_random_edges
+    from repro.graph.io import graph_digest, load_mmap
+
+    with tempfile.TemporaryDirectory() as tmp:
+        src = Path(tmp) / "edges.txt"
+        out = Path(tmp) / "graph.rcsr"
+        print(f"generating {EDGES} edges over {NODES} nodes ...",
+              flush=True)
+        write_random_edges(src, nodes=NODES, edges=EDGES, seed=42)
+
+        cap_mib = CAP_BYTES >> 20
+        stream = run_capped("stream", src, out)
+        print(f"stream under {cap_mib} MiB cap: {stream['outcome']}")
+        if stream["outcome"] != "ok":
+            print("FAIL: streaming ingestion ran out of memory under "
+                  f"the {cap_mib} MiB anonymous-memory cap",
+                  file=sys.stderr)
+            return 1
+
+        inram = run_capped("inram", src, out)
+        print(f"in-RAM under {cap_mib} MiB cap: {inram['outcome']}")
+        if inram["outcome"] != "MemoryError":
+            print(f"FAIL: the {cap_mib} MiB cap no longer constrains "
+                  "the in-RAM loader; tighten CAP_BYTES so this guard "
+                  "keeps meaning something", file=sys.stderr)
+            return 1
+
+        # The capped ingest must have produced the real graph, not a
+        # truncation: digest it against an uncapped mmap load.
+        reloaded = load_mmap(out)
+        if graph_digest(reloaded) != stream["digest"]:
+            print("FAIL: capped ingest output digest mismatch",
+                  file=sys.stderr)
+            return 1
+        print(f"ok: n={stream['n']} m={stream['m']} "
+              f"digest={stream['digest'][:16]}...")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
